@@ -1,0 +1,38 @@
+//! VIP→instance assignment (paper §4.4–4.5, Figure 7).
+//!
+//! The Yoda controller decides which VIPs (and hence which rule sets) live
+//! on which L7 instances. The paper formulates this as an ILP:
+//!
+//! * **Objective** — minimize the number of instances used.
+//! * **Eq. 1 traffic** — every instance can absorb its VIPs' traffic even
+//!   after `f_v = n_v · o_v` of each VIP's instances fail: each replica
+//!   carries `t_v / (n_v − f_v)`.
+//! * **Eq. 2 rules** — per-instance rule memory `R_y` (which caps lookup
+//!   latency; Figure 6 maps 2K rules ≈ 5 ms target).
+//! * **Eq. 3 replicas** — each VIP gets exactly `n_v` instances.
+//! * **Eq. 4–5 transient traffic** — mux updates are not atomic, so during
+//!   a transition an instance may carry the max of its old and new load;
+//!   that max must fit capacity.
+//! * **Eq. 6–7 migration** — at most a fraction δ of connections may
+//!   migrate between instances per update (TCPStore throughput bound).
+//!
+//! The paper solves this with CPLEX at a 10% optimality gap. This crate
+//! provides: an exact solver (dense two-phase [`simplex`] + [`bnb`]
+//! branch-and-bound) for small/medium instances, the migration-aware
+//! [`greedy`] solver with local search for trace-scale inputs (gap
+//! reported against a combinatorial lower bound), and the [`alltoall`]
+//! baseline the paper compares against in Figure 16.
+
+#![forbid(unsafe_code)]
+
+pub mod alltoall;
+pub mod bnb;
+pub mod greedy;
+pub mod model;
+pub mod simplex;
+
+pub use alltoall::all_to_all;
+pub use bnb::solve_exact;
+pub use greedy::{solve_greedy, GreedyConfig};
+pub use model::{AssignError, AssignInput, Assignment, TransitionStats, VipSpec};
+pub use simplex::{LinearProgram, LpError, LpResult};

@@ -1,0 +1,202 @@
+//! Criterion microbenchmarks for the hot paths of the Yoda data plane and
+//! the assignment solvers.
+//!
+//! * `rule_lookup/*` — the Figure 6 linear rule scan at several table
+//!   sizes (criterion-grade statistics for the same quantity the
+//!   `fig6_rule_latency` binary reports).
+//! * `flow_codec` — encode/decode of the TCPStore flow-state records
+//!   (runs on every connection setup).
+//! * `seq_translate` — the per-packet tunneling-phase header rewrite.
+//! * `hash_ring` — K-replica selection in the TCPStore client.
+//! * `assign/*` — greedy assignment at trace scale and the exact B&B on a
+//!   small instance.
+//! * `tcp_transfer` — a full 100 KB in-memory socket-to-socket transfer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yoda_assign::{solve_greedy, AssignInput, GreedyConfig, VipSpec};
+use yoda_core::flowstate::FlowRecord;
+use yoda_core::rules::{Rule, RuleTable, SelectCtx};
+use yoda_http::HttpRequest;
+use yoda_netsim::{Addr, Endpoint, SimTime};
+use yoda_tcp::{SeqNum, Segment, TcpConfig, TcpSocket};
+
+fn rule_table(n: usize) -> RuleTable {
+    let rules = (0..n)
+        .map(|i| {
+            let backend = format!("10.1.{}.{}:80", (i / 250) % 250, i % 250 + 1);
+            Rule::parse(&format!(
+                "name=r{i} priority=1 match url=/obj{i}/* action=split {backend}=1"
+            ))
+            .expect("valid rule")
+        })
+        .collect();
+    RuleTable::from_rules(rules)
+}
+
+fn bench_rule_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_lookup");
+    for &n in &[1_000usize, 10_000] {
+        let mut table = rule_table(n);
+        let ctx = SelectCtx::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(format!("{n}_rules"), |b| {
+            b.iter(|| {
+                let obj = rng.gen_range(0..n);
+                let req = HttpRequest::get(format!("/obj{obj}/x.jpg"));
+                black_box(table.select(&req, &ctx, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow_codec(c: &mut Criterion) {
+    let record = FlowRecord {
+        client: Endpoint::new(Addr::new(172, 16, 0, 1), 40000),
+        vip: Endpoint::new(Addr::new(100, 0, 0, 1), 80),
+        backend: Endpoint::new(Addr::new(10, 1, 0, 3), 80),
+        client_isn: SeqNum::new(0xDEADBEEF),
+        server_isn: SeqNum::new(0x12345678),
+    };
+    c.bench_function("flow_codec_roundtrip", |b| {
+        b.iter(|| {
+            let enc = black_box(&record).encode();
+            black_box(FlowRecord::decode(&enc))
+        })
+    });
+}
+
+fn bench_seq_translate(c: &mut Criterion) {
+    // The per-packet work of the tunneling phase: decode header fields,
+    // apply the Y−S offset, re-encode.
+    let seg = Segment {
+        src_port: 80,
+        dst_port: 40000,
+        seq: SeqNum::new(1_000_000),
+        ack: SeqNum::new(2_000_000),
+        flags: yoda_tcp::Flags::ACK,
+        window: 65535,
+        payload: bytes::Bytes::from(vec![0u8; 1460]),
+    };
+    let delta = 0x55AA55AAu32;
+    c.bench_function("seq_translate_packet", |b| {
+        b.iter(|| {
+            let mut out = seg.clone();
+            out.seq = SeqNum::new(out.seq.raw().wrapping_add(delta));
+            out.src_port = 80;
+            out.dst_port = 40000;
+            black_box(out.encode())
+        })
+    });
+}
+
+fn bench_hash_ring(c: &mut Criterion) {
+    let servers: Vec<Addr> = (1..=10).map(|i| Addr::new(10, 0, 1, i)).collect();
+    let ring = yoda_tcpstore::HashRing::new(&servers, 64);
+    let mut i = 0u64;
+    c.bench_function("hash_ring_2_replicas", |b| {
+        b.iter(|| {
+            i += 1;
+            let key = i.to_be_bytes();
+            black_box(ring.replicas(&key, 2))
+        })
+    });
+}
+
+fn bench_assign(c: &mut Criterion) {
+    let vips: Vec<VipSpec> = (0..110)
+        .map(|i| VipSpec {
+            traffic: 50.0 + (i % 23) as f64 * 400.0,
+            rules: 50 + (i % 9) as u64 * 150,
+            replicas: 1 + i % 4,
+            oversub: 0.25,
+            connections: 100.0,
+        })
+        .collect();
+    let input = AssignInput {
+        vips,
+        max_instances: 256,
+        traffic_capacity: 12_000.0,
+        rule_capacity: 2_000,
+        migration_limit: None,
+        previous: None,
+    };
+    c.bench_function("assign_greedy_110_vips", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |input| black_box(solve_greedy(&input, &GreedyConfig::default())),
+            BatchSize::SmallInput,
+        )
+    });
+    let small = AssignInput {
+        vips: (0..4)
+            .map(|i| VipSpec {
+                traffic: 40.0 + i as f64 * 10.0,
+                rules: 100,
+                replicas: 1,
+                oversub: 0.0,
+                connections: 10.0,
+            })
+            .collect(),
+        max_instances: 4,
+        traffic_capacity: 100.0,
+        rule_capacity: 2_000,
+        migration_limit: None,
+        previous: None,
+    };
+    c.bench_function("assign_exact_4x4", |b| {
+        b.iter_batched(
+            || small.clone(),
+            |input| black_box(yoda_assign::solve_exact(&input, 200)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    c.bench_function("tcp_transfer_100kb", |b| {
+        b.iter(|| {
+            let cfg = TcpConfig::default();
+            let a_ep = Endpoint::new(Addr::new(10, 0, 0, 1), 1000);
+            let b_ep = Endpoint::new(Addr::new(10, 0, 0, 2), 80);
+            let t = SimTime::ZERO;
+            let (mut cl, syn) = TcpSocket::connect(cfg, a_ep, b_ep, SeqNum::new(1), t);
+            let (mut sv, synack) =
+                TcpSocket::accept(cfg, b_ep, a_ep, &syn, SeqNum::new(2), t).expect("syn");
+            let mut to_server = cl.on_segment(&synack, t);
+            to_server.extend(cl.send(&[7u8; 100_000], t));
+            loop {
+                let mut to_client = Vec::new();
+                for s in &to_server {
+                    to_client.extend(sv.on_segment(s, t));
+                }
+                if to_client.is_empty() {
+                    break;
+                }
+                to_server.clear();
+                for s in &to_client {
+                    to_server.extend(cl.on_segment(s, t));
+                }
+                if to_server.is_empty() {
+                    break;
+                }
+            }
+            black_box(sv.take_data())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rule_lookup,
+    bench_flow_codec,
+    bench_seq_translate,
+    bench_hash_ring,
+    bench_assign,
+    bench_tcp_transfer
+);
+criterion_main!(benches);

@@ -1,0 +1,561 @@
+//! The Yoda controller (paper §6, Figure 8).
+//!
+//! Four components, as in the paper:
+//!
+//! * **User interface** — converts operator policies (rule DSL) into rule
+//!   installs on the instances serving each VIP.
+//! * **Assignment engine** — computes VIP→instance assignment (delegated
+//!   to `yoda-assign`; the testbed experiments use explicit assignments).
+//! * **Assignment updater** — pushes VIP→instance mappings to the L4
+//!   muxes. Updates are sent per mux with a stagger, reproducing the
+//!   non-atomicity that §4.5's transient constraint exists for.
+//! * **Monitor** — "gathers health information by pinging the YODA
+//!   instances, Memcached servers, and backend servers every 600ms, and
+//!   hence detects failure with at most 600ms delay."
+//!
+//! The controller also implements the Figure 13 autoscaler: when the mean
+//! instance CPU crosses a threshold it activates spare instances, installs
+//! the VIP rules on them, and adds them to the mux mappings — without
+//! breaking existing flows (they stay pinned by mux flow tables, and any
+//! that move recover via TCPStore).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use yoda_l4lb::CtrlMsg;
+use yoda_netsim::{
+    Addr, Ctx, Endpoint, Node, Packet, SimTime, TimerToken, PROTO_CTRL, PROTO_PING,
+};
+
+use crate::ctrl::{InstanceCtrl, CTRL_PORT};
+
+const PING_KIND: u32 = 0xC7_01;
+const STATS_KIND: u32 = 0xC7_02;
+
+/// Autoscaling policy (Figure 13).
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleConfig {
+    /// Add instances when mean CPU exceeds this.
+    pub high_cpu: f64,
+    /// Size the fleet so mean CPU lands near this.
+    pub target_cpu: f64,
+}
+
+/// Controller tunables.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Health-ping period (paper: 600 ms).
+    pub ping_interval: SimTime,
+    /// Stats-poll period.
+    pub stats_interval: SimTime,
+    /// Extra delay between successive per-mux map updates (non-atomic
+    /// update model).
+    pub mux_stagger: SimTime,
+    /// Autoscaler; `None` disables it.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            ping_interval: SimTime::from_millis(600),
+            stats_interval: SimTime::from_secs(1),
+            mux_stagger: SimTime::from_millis(50),
+            autoscale: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Monitored {
+    ep: Endpoint,
+    awaiting: bool,
+    failed: bool,
+}
+
+#[derive(Debug, Clone)]
+struct VipState {
+    rules_text: String,
+    instances: Vec<Addr>,
+    version: u64,
+    ssl_cert_len: Option<u32>,
+}
+
+/// One CPU/utilisation sample from the stats poll.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSample {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// Mean CPU across active instances (0..1).
+    pub mean_cpu: f64,
+    /// Number of active instances at that time.
+    pub active_instances: usize,
+    /// Total requests/sec across instances since the previous poll.
+    pub request_rate: f64,
+}
+
+/// The controller node.
+pub struct Controller {
+    addr: Addr,
+    cfg: ControllerConfig,
+    muxes: Vec<Addr>,
+    router: Option<Addr>,
+    instances: Vec<Addr>,
+    active: HashMap<Addr, bool>,
+    spares: Vec<Addr>,
+    monitored: Vec<Monitored>,
+    vips: HashMap<Endpoint, VipState>,
+    next_version: u64,
+    next_stats_seq: u64,
+    cpu_replies: HashMap<u64, Vec<(Addr, f64, u64)>>,
+    last_stats_at: SimTime,
+    /// Failures detected by the monitor.
+    pub failures_detected: u64,
+    /// Instances activated by the autoscaler.
+    pub instances_added: u64,
+    /// CPU/request-rate samples over time (Figure 13's series).
+    pub cpu_history: Vec<CpuSample>,
+    /// Time each failure was detected, for recovery-latency accounting.
+    pub failure_times: Vec<(SimTime, Endpoint)>,
+}
+
+impl Controller {
+    /// Creates a controller bound to `addr`.
+    pub fn new(cfg: ControllerConfig, addr: Addr) -> Self {
+        Controller {
+            addr,
+            cfg,
+            muxes: Vec::new(),
+            router: None,
+            instances: Vec::new(),
+            active: HashMap::new(),
+            spares: Vec::new(),
+            monitored: Vec::new(),
+            vips: HashMap::new(),
+            next_version: 1,
+            next_stats_seq: 1,
+            cpu_replies: HashMap::new(),
+            last_stats_at: SimTime::ZERO,
+            failures_detected: 0,
+            instances_added: 0,
+            cpu_history: Vec::new(),
+            failure_times: Vec::new(),
+        }
+    }
+
+    fn me(&self) -> Endpoint {
+        Endpoint::new(self.addr, CTRL_PORT)
+    }
+
+    /// Registers the L4 layer.
+    pub fn set_l4(&mut self, router: Addr, muxes: Vec<Addr>) {
+        self.router = Some(router);
+        self.muxes = muxes;
+    }
+
+    /// Registers an active Yoda instance (monitored and serving).
+    pub fn register_instance(&mut self, addr: Addr) {
+        self.instances.push(addr);
+        self.active.insert(addr, true);
+        self.monitored.push(Monitored {
+            ep: Endpoint::new(addr, 0),
+            awaiting: false,
+            failed: false,
+        });
+    }
+
+    /// Registers a spare instance (monitored, idle until the autoscaler
+    /// activates it).
+    pub fn register_spare(&mut self, addr: Addr) {
+        self.instances.push(addr);
+        self.active.insert(addr, false);
+        self.spares.push(addr);
+        self.monitored.push(Monitored {
+            ep: Endpoint::new(addr, 0),
+            awaiting: false,
+            failed: false,
+        });
+    }
+
+    /// Registers a backend server for health monitoring.
+    pub fn register_backend(&mut self, ep: Endpoint) {
+        self.monitored.push(Monitored {
+            ep,
+            awaiting: false,
+            failed: false,
+        });
+    }
+
+    /// Registers a TCPStore server for health monitoring.
+    pub fn register_store(&mut self, addr: Addr) {
+        self.monitored.push(Monitored {
+            ep: Endpoint::new(addr, 0),
+            awaiting: false,
+            failed: false,
+        });
+    }
+
+    /// Enables health monitoring of the L4 muxes themselves (the L4 LB
+    /// has its own resilience in the paper; monitoring here propagates
+    /// the shrunken mux set to the router and to the instances' SNAT
+    /// egress lists).
+    pub fn monitor_muxes(&mut self) {
+        for &m in &self.muxes.clone() {
+            self.monitored.push(Monitored {
+                ep: Endpoint::new(m, 0),
+                awaiting: false,
+                failed: false,
+            });
+        }
+    }
+
+    /// Whether a VIP is registered.
+    pub fn has_vip(&self, vip: Endpoint) -> bool {
+        self.vips.contains_key(&vip)
+    }
+
+    /// Currently-active instances.
+    pub fn active_instances(&self) -> Vec<Addr> {
+        self.instances
+            .iter()
+            .copied()
+            .filter(|a| self.active.get(a).copied().unwrap_or(false))
+            .collect()
+    }
+
+    /// Adds (or replaces) a VIP: installs rules on `instances` and maps
+    /// the VIP on every mux (§5.2 "VIP addition").
+    pub fn add_vip(&mut self, ctx: &mut Ctx<'_>, vip: Endpoint, rules_text: &str, instances: Vec<Addr>) {
+        self.add_vip_ssl(ctx, vip, rules_text, instances, None);
+    }
+
+    /// [`Controller::add_vip`] with SSL termination: instances will serve
+    /// a certificate of `ssl_cert_len` bytes to clients of this VIP
+    /// (§5.2 "SSL support").
+    pub fn add_vip_ssl(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vip: Endpoint,
+        rules_text: &str,
+        instances: Vec<Addr>,
+        ssl_cert_len: Option<u32>,
+    ) {
+        let version = self.next_version;
+        self.next_version += 1;
+        for &inst in &instances {
+            let msg = InstanceCtrl::InstallVip {
+                vip,
+                rules_text: rules_text.to_string(),
+                ssl_cert_len,
+            };
+            ctx.send(msg.into_packet(self.me(), inst));
+        }
+        self.push_vip_map(ctx, vip.addr, instances.clone(), version);
+        self.vips.insert(
+            vip,
+            VipState {
+                rules_text: rules_text.to_string(),
+                instances,
+                version,
+                ssl_cert_len,
+            },
+        );
+    }
+
+    /// Removes a VIP: reverse order of addition (§5.2).
+    pub fn remove_vip(&mut self, ctx: &mut Ctx<'_>, vip: Endpoint) {
+        let Some(state) = self.vips.remove(&vip) else {
+            return;
+        };
+        let version = self.next_version;
+        self.next_version += 1;
+        for (i, &mux) in self.muxes.iter().enumerate() {
+            let msg = CtrlMsg::RemoveVip {
+                vip: vip.addr,
+                version,
+            };
+            let pkt = msg.into_packet(self.me(), mux);
+            ctx.send_after(self.cfg.mux_stagger * i as u64, pkt);
+        }
+        for inst in state.instances {
+            ctx.send(InstanceCtrl::RemoveVip { vip }.into_packet(self.me(), inst));
+        }
+    }
+
+    /// Updates a VIP's policy (rules) without touching placement; new
+    /// rules apply to new connections only (§5.2).
+    pub fn update_policy(&mut self, ctx: &mut Ctx<'_>, vip: Endpoint, rules_text: &str) {
+        let me = self.me();
+        let Some(state) = self.vips.get_mut(&vip) else {
+            return;
+        };
+        state.rules_text = rules_text.to_string();
+        for &inst in &state.instances {
+            let msg = InstanceCtrl::InstallVip {
+                vip,
+                rules_text: rules_text.to_string(),
+                ssl_cert_len: state.ssl_cert_len,
+            };
+            ctx.send(msg.into_packet(me, inst));
+        }
+    }
+
+    /// Marks a backend as administratively removed (treated as failure,
+    /// §5.2 "Backend server failure").
+    pub fn remove_backend(&mut self, ctx: &mut Ctx<'_>, backend: Endpoint) {
+        self.broadcast_backend_down(ctx, backend);
+        if let Some(m) = self.monitored.iter_mut().find(|m| m.ep == backend) {
+            m.failed = true;
+        }
+    }
+
+    fn push_vip_map(&self, ctx: &mut Ctx<'_>, vip: Addr, instances: Vec<Addr>, version: u64) {
+        // Non-atomic: each mux hears the update a stagger later than the
+        // previous one.
+        for (i, &mux) in self.muxes.iter().enumerate() {
+            let msg = CtrlMsg::SetVipMap {
+                vip,
+                instances: instances.clone(),
+                version,
+            };
+            let pkt = msg.into_packet(self.me(), mux);
+            ctx.send_after(self.cfg.mux_stagger * i as u64, pkt);
+        }
+    }
+
+    fn broadcast_backend_down(&self, ctx: &mut Ctx<'_>, backend: Endpoint) {
+        for &inst in &self.instances {
+            if self.active.get(&inst).copied().unwrap_or(false) {
+                let msg = InstanceCtrl::BackendDown { backend };
+                ctx.send(msg.into_packet(self.me(), inst));
+            }
+        }
+    }
+
+    /// Handles a detected failure of any monitored endpoint.
+    fn on_failure(&mut self, ctx: &mut Ctx<'_>, ep: Endpoint) {
+        self.failures_detected += 1;
+        self.failure_times.push((ctx.now(), ep));
+        ctx.trace_note(format!("controller detected failure of {ep}"));
+        let addr = ep.addr;
+        if self.muxes.contains(&addr) {
+            // A mux died: shrink the ECMP set at the router and update
+            // every instance's SNAT egress list. Flows pinned to the dead
+            // mux re-hash; any that land on a different instance recover
+            // via TCPStore.
+            self.muxes.retain(|&m| m != addr);
+            let me = self.me();
+            if let Some(router) = self.router {
+                let msg = CtrlMsg::SetMuxes {
+                    muxes: self.muxes.clone(),
+                };
+                ctx.send(msg.into_packet(me, router));
+            }
+            for &inst in &self.instances {
+                let msg = InstanceCtrl::SetMuxes {
+                    muxes: self.muxes.clone(),
+                };
+                ctx.send(msg.into_packet(me, inst));
+            }
+            return;
+        }
+        if self.active.get(&addr).copied().unwrap_or(false) {
+            // A Yoda instance died: remove it from every VIP mapping so
+            // the muxes re-steer its flows to the survivors (§4.2).
+            self.active.insert(addr, false);
+            let me = self.me();
+            let muxes = self.muxes.clone();
+            let stagger = self.cfg.mux_stagger;
+            for (&vip, state) in self.vips.iter_mut() {
+                if !state.instances.contains(&addr) {
+                    continue;
+                }
+                state.instances.retain(|&i| i != addr);
+                state.version = self.next_version;
+                self.next_version += 1;
+                for (i, &mux) in muxes.iter().enumerate() {
+                    let msg = CtrlMsg::SetVipMap {
+                        vip: vip.addr,
+                        instances: state.instances.clone(),
+                        version: state.version,
+                    };
+                    let pkt = msg.into_packet(me, mux);
+                    ctx.send_after(stagger * i as u64, pkt);
+                }
+            }
+        } else if ep.port == 80 {
+            // A backend died: instances must terminate its flows.
+            self.broadcast_backend_down(ctx, ep);
+        }
+        // Store-server failure needs no action: the replicated client
+        // library falls back to surviving replicas (§6).
+    }
+
+    /// Activates `n` spare instances: install every VIP's rules, then add
+    /// them to the mux mappings.
+    pub fn activate_spares(&mut self, ctx: &mut Ctx<'_>, n: usize) -> usize {
+        let me = self.me();
+        let mut activated = 0;
+        for _ in 0..n {
+            let Some(spare) = self.spares.pop() else {
+                break;
+            };
+            self.active.insert(spare, true);
+            self.instances_added += 1;
+            activated += 1;
+            let vips: Vec<Endpoint> = self.vips.keys().copied().collect();
+            for vip in vips {
+                let state = self.vips.get_mut(&vip).expect("exists");
+                let msg = InstanceCtrl::InstallVip {
+                    vip,
+                    rules_text: state.rules_text.clone(),
+                    ssl_cert_len: state.ssl_cert_len,
+                };
+                ctx.send(msg.into_packet(me, spare));
+                state.instances.push(spare);
+                state.version = self.next_version;
+                self.next_version += 1;
+                let instances = state.instances.clone();
+                let version = state.version;
+                self.push_vip_map(ctx, vip.addr, instances, version);
+            }
+            ctx.trace_note(format!("autoscaler activated instance {spare}"));
+        }
+        activated
+    }
+
+    fn ping_cycle(&mut self, ctx: &mut Ctx<'_>) {
+        // First: anything that did not answer the previous ping is dead.
+        let mut newly_failed = Vec::new();
+        for m in &mut self.monitored {
+            if m.awaiting && !m.failed {
+                m.failed = true;
+                newly_failed.push(m.ep);
+            }
+        }
+        for ep in newly_failed {
+            self.on_failure(ctx, ep);
+        }
+        // Then: ping everyone not yet declared failed.
+        let me = Endpoint::new(self.addr, 0);
+        for m in &mut self.monitored {
+            if m.failed {
+                continue;
+            }
+            m.awaiting = true;
+            ctx.send(Packet::new(me, m.ep, PROTO_PING, Bytes::new()));
+        }
+        ctx.set_timer(self.cfg.ping_interval, TimerToken::new(PING_KIND));
+    }
+
+    fn stats_cycle(&mut self, ctx: &mut Ctx<'_>) {
+        // Aggregate the previous round's replies first.
+        let prev_seq = self.next_stats_seq.wrapping_sub(1);
+        if let Some(replies) = self.cpu_replies.remove(&prev_seq) {
+            if !replies.is_empty() {
+                let mean =
+                    replies.iter().map(|(_, c, _)| c).sum::<f64>() / replies.len() as f64;
+                let reqs: u64 = replies.iter().map(|(_, _, r)| r).sum();
+                let dt = ctx.now().saturating_sub(self.last_stats_at).as_secs_f64();
+                let sample = CpuSample {
+                    time: ctx.now(),
+                    mean_cpu: mean,
+                    active_instances: replies.len(),
+                    request_rate: if dt > 0.0 { reqs as f64 / dt } else { 0.0 },
+                };
+                self.cpu_history.push(sample);
+                if let Some(auto) = self.cfg.autoscale {
+                    if mean > auto.high_cpu && !self.spares.is_empty() {
+                        // Size so mean CPU falls to ~target.
+                        let active = replies.len() as f64;
+                        let want = (active * mean / auto.target_cpu).ceil() as usize;
+                        let add = want.saturating_sub(replies.len());
+                        if add > 0 {
+                            self.activate_spares(ctx, add);
+                        }
+                    }
+                }
+            }
+        }
+        self.last_stats_at = ctx.now();
+        let seq = self.next_stats_seq;
+        self.next_stats_seq += 1;
+        self.cpu_replies.insert(seq, Vec::new());
+        let me = self.me();
+        for &inst in &self.instances {
+            if self.active.get(&inst).copied().unwrap_or(false) {
+                ctx.send(InstanceCtrl::StatsRequest { seq }.into_packet(me, inst));
+            }
+        }
+        ctx.set_timer(self.cfg.stats_interval, TimerToken::new(STATS_KIND));
+    }
+}
+
+impl Node for Controller {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.cfg.ping_interval, TimerToken::new(PING_KIND));
+        ctx.set_timer(self.cfg.stats_interval, TimerToken::new(STATS_KIND));
+        self.last_stats_at = ctx.now();
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+        match pkt.protocol {
+            PROTO_PING => {
+                // A pong: clear the awaiting flag.
+                for m in &mut self.monitored {
+                    if m.ep.addr == pkt.src.addr && (m.ep.port == 0 || m.ep.port == pkt.src.port)
+                    {
+                        m.awaiting = false;
+                    }
+                }
+            }
+            PROTO_CTRL => {
+                if let Some(InstanceCtrl::StatsReply {
+                    seq,
+                    cpu_milli,
+                    flows: _,
+                    per_vip_requests,
+                }) = InstanceCtrl::decode(&pkt.payload)
+                {
+                    if let Some(bucket) = self.cpu_replies.get_mut(&seq) {
+                        let reqs: u64 = per_vip_requests.iter().map(|(_, r)| r).sum();
+                        bucket.push((pkt.src.addr, cpu_milli as f64 / 1000.0, reqs));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        match token.kind {
+            PING_KIND => self.ping_cycle(ctx),
+            STATS_KIND => self.stats_cycle(ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_bookkeeping() {
+        let mut c = Controller::new(ControllerConfig::default(), Addr::new(10, 0, 4, 1));
+        c.register_instance(Addr::new(10, 0, 0, 1));
+        c.register_instance(Addr::new(10, 0, 0, 2));
+        c.register_spare(Addr::new(10, 0, 0, 3));
+        c.register_backend(Endpoint::new(Addr::new(10, 1, 0, 1), 80));
+        c.register_store(Addr::new(10, 0, 1, 1));
+        assert_eq!(c.active_instances().len(), 2);
+        assert_eq!(c.monitored.len(), 5);
+        assert_eq!(c.spares.len(), 1);
+    }
+
+    #[test]
+    fn default_matches_paper_600ms() {
+        let cfg = ControllerConfig::default();
+        assert_eq!(cfg.ping_interval, SimTime::from_millis(600));
+    }
+}

@@ -1,0 +1,403 @@
+//! Full-system testbed assembly (paper §7 *Setup*).
+//!
+//! Builds the simulated equivalent of the paper's 60-VM Azure deployment:
+//! an edge router owning the VIPs, a pool of L4 muxes, Yoda instances
+//! (active + spares), TCPStore servers, backend origin servers split
+//! across several emulated online services (VIPs), and the controller —
+//! then lets scenarios attach clients and script failures.
+
+use std::sync::Arc;
+
+use yoda_http::{
+    BrowserClient, BrowserConfig, OriginServer, RateClient, RateClientConfig, ServerConfig,
+    SiteCatalog, SiteConfig,
+};
+use yoda_l4lb::{EdgeRouter, Mux};
+use yoda_netsim::{Addr, Endpoint, Engine, NodeId, SimTime, Topology, Zone};
+use yoda_tcpstore::{StoreServer, StoreServerConfig};
+
+use crate::controller::{Controller, ControllerConfig};
+use crate::instance::{YodaConfig, YodaInstance};
+
+/// Testbed shape. Defaults mirror the paper's 60-VM deployment: 10 Yoda
+/// instances, 10 Memcached servers, 30 backends over 4 online services,
+/// and 10 L4 muxes.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// RNG seed for the engine and catalog.
+    pub seed: u64,
+    /// Active Yoda instances.
+    pub num_instances: usize,
+    /// Spare (idle) instances available to the autoscaler.
+    pub num_spares: usize,
+    /// TCPStore servers.
+    pub num_stores: usize,
+    /// Backend servers, partitioned round-robin across the services.
+    pub num_backends: usize,
+    /// L4 muxes.
+    pub num_muxes: usize,
+    /// Online services (each gets one VIP and one site).
+    pub num_services: usize,
+    /// Pages per site in the catalog.
+    pub pages_per_site: usize,
+    /// Yoda instance tuning.
+    pub yoda: YodaConfig,
+    /// Controller tuning.
+    pub controller: ControllerConfig,
+    /// Store server tuning.
+    pub store: StoreServerConfig,
+    /// Backend tuning.
+    pub backend: ServerConfig,
+    /// Network topology.
+    pub topology: Topology,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            seed: 42,
+            num_instances: 10,
+            num_spares: 0,
+            num_stores: 10,
+            num_backends: 30,
+            num_muxes: 10,
+            num_services: 4,
+            pages_per_site: 60,
+            yoda: YodaConfig::default(),
+            controller: ControllerConfig::default(),
+            store: StoreServerConfig::default(),
+            backend: ServerConfig::default(),
+            topology: Topology::azure_testbed(),
+        }
+    }
+}
+
+/// A built testbed: the engine plus handles to every component.
+pub struct Testbed {
+    /// The simulation engine.
+    pub engine: Engine,
+    /// Controller node.
+    pub controller: NodeId,
+    /// Edge router node.
+    pub router: NodeId,
+    /// Mux nodes.
+    pub muxes: Vec<NodeId>,
+    /// Mux addresses.
+    pub mux_addrs: Vec<Addr>,
+    /// Active Yoda instance nodes.
+    pub instances: Vec<NodeId>,
+    /// Active instance addresses.
+    pub instance_addrs: Vec<Addr>,
+    /// Spare instance nodes.
+    pub spares: Vec<NodeId>,
+    /// Spare addresses.
+    pub spare_addrs: Vec<Addr>,
+    /// Store server nodes.
+    pub stores: Vec<NodeId>,
+    /// Store addresses.
+    pub store_addrs: Vec<Addr>,
+    /// Backend nodes.
+    pub backends: Vec<NodeId>,
+    /// Backend endpoints, grouped per service.
+    pub service_backends: Vec<Vec<Endpoint>>,
+    /// One VIP per service.
+    pub vips: Vec<Endpoint>,
+    /// The shared website catalog (site *i* belongs to service *i*).
+    pub catalog: Arc<SiteCatalog>,
+    /// Yoda instance configuration used (for spare restoration).
+    pub yoda_cfg: YodaConfig,
+    next_client_host: u8,
+}
+
+impl Testbed {
+    /// Assembles the testbed and installs the default policy: each VIP
+    /// splits traffic equally across its service's backends, on every
+    /// active instance (the paper's testbed assigns all four services to
+    /// all ten instances).
+    pub fn build(cfg: TestbedConfig) -> Testbed {
+        let mut engine = Engine::with_topology(cfg.seed, cfg.topology.clone());
+
+        // Addresses.
+        let router_addr = Addr::new(10, 0, 3, 1);
+        let controller_addr = Addr::new(10, 0, 4, 1);
+        let mux_addrs: Vec<Addr> = (1..=cfg.num_muxes as u8).map(|i| Addr::new(10, 0, 2, i)).collect();
+        let instance_addrs: Vec<Addr> =
+            (1..=cfg.num_instances as u8).map(|i| Addr::new(10, 0, 0, i)).collect();
+        let spare_addrs: Vec<Addr> = (1..=cfg.num_spares as u8)
+            .map(|i| Addr::new(10, 0, 5, i))
+            .collect();
+        let store_addrs: Vec<Addr> =
+            (1..=cfg.num_stores as u8).map(|i| Addr::new(10, 0, 1, i)).collect();
+        let backend_addrs: Vec<Addr> =
+            (1..=cfg.num_backends as u8).map(|i| Addr::new(10, 1, 0, i)).collect();
+        let vips: Vec<Endpoint> = (1..=cfg.num_services as u8)
+            .map(|i| Endpoint::new(Addr::new(100, 0, 0, i), 80))
+            .collect();
+
+        // Catalog: one site per service.
+        let site_cfgs: Vec<SiteConfig> = (0..cfg.num_services)
+            .map(|s| SiteConfig {
+                pages: cfg.pages_per_site,
+                embedded_per_page: (4, 12),
+                host: format!("service{s}.test"),
+            })
+            .collect();
+        let catalog = Arc::new(SiteCatalog::generate(cfg.seed, &site_cfgs));
+
+        // Router (owns all VIPs).
+        let router = engine.add_node(
+            "router",
+            router_addr,
+            Zone::Dc,
+            Box::new(EdgeRouter::new(router_addr, mux_addrs.clone())),
+        );
+        for vip in &vips {
+            engine.add_addr(router, vip.addr);
+        }
+
+        // Muxes.
+        let muxes: Vec<NodeId> = mux_addrs
+            .iter()
+            .map(|&m| engine.add_node(format!("mux-{m}"), m, Zone::Dc, Box::new(Mux::new(m))))
+            .collect();
+
+        // Store servers.
+        let stores: Vec<NodeId> = store_addrs
+            .iter()
+            .map(|&s| {
+                engine.add_node(
+                    format!("store-{s}"),
+                    s,
+                    Zone::Dc,
+                    Box::new(StoreServer::new(cfg.store, s)),
+                )
+            })
+            .collect();
+
+        // Yoda instances (active + spare) — spares are full instances
+        // with no VIPs installed yet.
+        let mk_instance = |addr: Addr| {
+            Box::new(YodaInstance::new(
+                cfg.yoda.clone(),
+                addr,
+                &store_addrs,
+                mux_addrs.clone(),
+            ))
+        };
+        let instances: Vec<NodeId> = instance_addrs
+            .iter()
+            .map(|&a| engine.add_node(format!("yoda-{a}"), a, Zone::Dc, mk_instance(a)))
+            .collect();
+        let spares: Vec<NodeId> = spare_addrs
+            .iter()
+            .map(|&a| engine.add_node(format!("yoda-spare-{a}"), a, Zone::Dc, mk_instance(a)))
+            .collect();
+
+        // Backends, split round-robin across services.
+        let mut service_backends: Vec<Vec<Endpoint>> = vec![Vec::new(); cfg.num_services];
+        let backends: Vec<NodeId> = backend_addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let ep = Endpoint::new(a, 80);
+                service_backends[i % cfg.num_services].push(ep);
+                engine.add_node(
+                    format!("backend-{a}"),
+                    a,
+                    Zone::Dc,
+                    Box::new(OriginServer::new(cfg.backend.clone(), ep, catalog.clone())),
+                )
+            })
+            .collect();
+
+        // Controller.
+        let mut controller_node = Controller::new(cfg.controller.clone(), controller_addr);
+        controller_node.set_l4(router_addr, mux_addrs.clone());
+        for &a in &instance_addrs {
+            controller_node.register_instance(a);
+        }
+        for &a in &spare_addrs {
+            controller_node.register_spare(a);
+        }
+        for sb in &service_backends {
+            for &ep in sb {
+                controller_node.register_backend(ep);
+            }
+        }
+        for &s in &store_addrs {
+            controller_node.register_store(s);
+        }
+        controller_node.monitor_muxes();
+        let controller = engine.add_node("controller", controller_addr, Zone::Dc, Box::new(controller_node));
+
+        let mut tb = Testbed {
+            engine,
+            controller,
+            router,
+            muxes,
+            mux_addrs,
+            instances,
+            instance_addrs,
+            spares,
+            spare_addrs,
+            stores,
+            store_addrs,
+            backends,
+            service_backends,
+            vips,
+            catalog,
+            yoda_cfg: cfg.yoda,
+            next_client_host: 1,
+        };
+        // Install the default equal-split policy for every service via
+        // the controller at t=0 (runs as a scheduled control action).
+        for (s, vip) in tb.vips.clone().into_iter().enumerate() {
+            let rules = tb.equal_split_rules(s);
+            tb.set_policy(vip, &rules);
+        }
+        tb
+    }
+
+    /// The default rule text for service `s`: equal-weight split across
+    /// its backends.
+    pub fn equal_split_rules(&self, service: usize) -> String {
+        let backends: Vec<String> = self.service_backends[service]
+            .iter()
+            .map(|b| format!("{b}=1"))
+            .collect();
+        format!(
+            "name=default-{service} priority=1 match * action=split {}",
+            backends.join(" ")
+        )
+    }
+
+    /// Applies a policy for `vip` through the controller: adds the VIP on
+    /// every active instance the first time, updates rules afterwards.
+    pub fn set_policy(&mut self, vip: Endpoint, rules_text: &str) {
+        self.set_policy_at(vip, rules_text, self.engine.now());
+    }
+
+    /// Schedules a policy application at a future simulated time (the
+    /// operator actions of the Figure 14 experiment).
+    pub fn set_policy_at(&mut self, vip: Endpoint, rules_text: &str, at: SimTime) {
+        let controller = self.controller;
+        let rules = rules_text.to_string();
+        let instances = self.instance_addrs.clone();
+        self.engine.schedule(at, move |eng| {
+            eng.with_node_ctx::<Controller>(controller, move |c, ctx| {
+                if c.has_vip(vip) {
+                    c.update_policy(ctx, vip, &rules);
+                } else {
+                    c.add_vip(ctx, vip, &rules, instances);
+                }
+            });
+        });
+    }
+
+    /// Schedules an SSL-terminated policy: the VIP's instances will serve
+    /// a certificate of `cert_len` bytes to every new connection (§5.2).
+    pub fn set_ssl_policy_at(
+        &mut self,
+        vip: Endpoint,
+        rules_text: &str,
+        cert_len: u32,
+        at: SimTime,
+    ) {
+        let controller = self.controller;
+        let rules = rules_text.to_string();
+        let instances = self.instance_addrs.clone();
+        self.engine.schedule(at, move |eng| {
+            eng.with_node_ctx::<Controller>(controller, move |c, ctx| {
+                c.add_vip_ssl(ctx, vip, &rules, instances, Some(cert_len));
+            });
+        });
+    }
+
+    /// Attaches a closed-loop browser for service `service`.
+    pub fn add_browser(&mut self, service: usize, cfg: BrowserConfig) -> NodeId {
+        let addr = self.next_client_addr();
+        let cfg = BrowserConfig {
+            site: service,
+            target: self.vips[service],
+            host: format!("service{service}.test"),
+            ..cfg
+        };
+        self.engine.add_node(
+            format!("browser-{addr}"),
+            addr,
+            Zone::External,
+            Box::new(BrowserClient::new(cfg, addr, self.catalog.clone())),
+        )
+    }
+
+    /// Attaches an open-loop rate client for service `service`.
+    pub fn add_rate_client(&mut self, service: usize, cfg: RateClientConfig) -> NodeId {
+        let addr = self.next_client_addr();
+        let cfg = RateClientConfig {
+            site: service,
+            target: self.vips[service],
+            host: format!("service{service}.test"),
+            ..cfg
+        };
+        self.engine.add_node(
+            format!("rate-{addr}"),
+            addr,
+            Zone::External,
+            Box::new(RateClient::new(cfg, addr, self.catalog.clone())),
+        )
+    }
+
+    fn next_client_addr(&mut self) -> Addr {
+        let host = self.next_client_host;
+        self.next_client_host = self.next_client_host.wrapping_add(1);
+        Addr::new(172, 16, 1, host)
+    }
+
+    /// Fails Yoda instance `i` at simulated time `at`.
+    pub fn fail_instance_at(&mut self, i: usize, at: SimTime) {
+        let id = self.instances[i];
+        self.engine.schedule(at, move |eng| eng.fail_node(id));
+    }
+
+    /// Fails backend `i` at simulated time `at`.
+    pub fn fail_backend_at(&mut self, i: usize, at: SimTime) {
+        let id = self.backends[i];
+        self.engine.schedule(at, move |eng| eng.fail_node(id));
+    }
+
+    /// Mean CPU utilisation across live active instances right now.
+    pub fn mean_instance_cpu(&self) -> f64 {
+        let now = self.engine.now();
+        let mut total = 0.0;
+        let mut n = 0;
+        for (&id, _) in self.instances.iter().zip(&self.instance_addrs) {
+            if self.engine.is_alive(id) {
+                total += self.engine.node_ref::<YodaInstance>(id).cpu_utilization(now);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_default_testbed() {
+        let tb = Testbed::build(TestbedConfig::default());
+        assert_eq!(tb.instances.len(), 10);
+        assert_eq!(tb.stores.len(), 10);
+        assert_eq!(tb.backends.len(), 30);
+        assert_eq!(tb.muxes.len(), 10);
+        assert_eq!(tb.vips.len(), 4);
+        // 30 backends over 4 services: 8/8/7/7.
+        let sizes: Vec<usize> = tb.service_backends.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 30);
+    }
+}

@@ -1,0 +1,190 @@
+//! Control-plane messages between the Yoda controller and the L4 LB.
+//!
+//! The controller updates per-mux VIP→instance mappings (paper §4.4 step 3,
+//! §4.5) and the router's live mux set. Messages are byte-encoded and ride
+//! in `PROTO_CTRL` packets, so updates are
+//! asynchronous and can be staggered per mux — reproducing the paper's
+//! "changing the mapping on multiple L4 LB instances ... is not atomic".
+
+use bytes::{BufMut, Bytes, BytesMut};
+use yoda_netsim::{Addr, Endpoint, Packet, PROTO_CTRL};
+
+/// Port control messages are addressed to.
+pub const CTRL_PORT: u16 = 179;
+
+/// A control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Replace the instance list for one VIP on a mux.
+    SetVipMap {
+        /// The VIP whose mapping changes.
+        vip: Addr,
+        /// The L7 instances now assigned to it.
+        instances: Vec<Addr>,
+        /// Monotonic version; stale updates are ignored.
+        version: u64,
+    },
+    /// Remove a VIP entirely from a mux.
+    RemoveVip {
+        /// The VIP to remove.
+        vip: Addr,
+        /// Monotonic version.
+        version: u64,
+    },
+    /// Replace the router's live mux list.
+    SetMuxes {
+        /// The live muxes.
+        muxes: Vec<Addr>,
+    },
+}
+
+impl CtrlMsg {
+    /// Serializes the message.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            CtrlMsg::SetVipMap {
+                vip,
+                instances,
+                version,
+            } => {
+                buf.put_u8(1);
+                buf.put_u32(vip.as_u32());
+                buf.put_u64(*version);
+                buf.put_u16(instances.len() as u16);
+                for i in instances {
+                    buf.put_u32(i.as_u32());
+                }
+            }
+            CtrlMsg::RemoveVip { vip, version } => {
+                buf.put_u8(2);
+                buf.put_u32(vip.as_u32());
+                buf.put_u64(*version);
+            }
+            CtrlMsg::SetMuxes { muxes } => {
+                buf.put_u8(3);
+                buf.put_u16(muxes.len() as u16);
+                for m in muxes {
+                    buf.put_u32(m.as_u32());
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a message; `None` on malformed bytes.
+    pub fn decode(b: &Bytes) -> Option<CtrlMsg> {
+        let tag = *b.first()?;
+        match tag {
+            1 => {
+                if b.len() < 15 {
+                    return None;
+                }
+                let vip = Addr::from_u32(u32::from_be_bytes(b[1..5].try_into().ok()?));
+                let version = u64::from_be_bytes(b[5..13].try_into().ok()?);
+                let n = u16::from_be_bytes([b[13], b[14]]) as usize;
+                if b.len() != 15 + 4 * n {
+                    return None;
+                }
+                let instances = (0..n)
+                    .map(|i| {
+                        Addr::from_u32(u32::from_be_bytes(
+                            b[15 + 4 * i..19 + 4 * i].try_into().expect("length checked"),
+                        ))
+                    })
+                    .collect();
+                Some(CtrlMsg::SetVipMap {
+                    vip,
+                    instances,
+                    version,
+                })
+            }
+            2 => {
+                if b.len() != 13 {
+                    return None;
+                }
+                let vip = Addr::from_u32(u32::from_be_bytes(b[1..5].try_into().ok()?));
+                let version = u64::from_be_bytes(b[5..13].try_into().ok()?);
+                Some(CtrlMsg::RemoveVip { vip, version })
+            }
+            3 => {
+                if b.len() < 3 {
+                    return None;
+                }
+                let n = u16::from_be_bytes([b[1], b[2]]) as usize;
+                if b.len() != 3 + 4 * n {
+                    return None;
+                }
+                let muxes = (0..n)
+                    .map(|i| {
+                        Addr::from_u32(u32::from_be_bytes(
+                            b[3 + 4 * i..7 + 4 * i].try_into().expect("length checked"),
+                        ))
+                    })
+                    .collect();
+                Some(CtrlMsg::SetMuxes { muxes })
+            }
+            _ => None,
+        }
+    }
+
+    /// Wraps the message in a control packet from `src` to node `dst`.
+    pub fn into_packet(self, src: Endpoint, dst: Addr) -> Packet {
+        Packet::new(src, Endpoint::new(dst, CTRL_PORT), PROTO_CTRL, self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_vip_map_roundtrip() {
+        let msg = CtrlMsg::SetVipMap {
+            vip: Addr::new(100, 0, 0, 1),
+            instances: vec![Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2)],
+            version: 42,
+        };
+        assert_eq!(CtrlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_instance_list_roundtrip() {
+        let msg = CtrlMsg::SetVipMap {
+            vip: Addr::new(100, 0, 0, 1),
+            instances: vec![],
+            version: 1,
+        };
+        assert_eq!(CtrlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn remove_vip_roundtrip() {
+        let msg = CtrlMsg::RemoveVip {
+            vip: Addr::new(100, 0, 0, 3),
+            version: 7,
+        };
+        assert_eq!(CtrlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn set_muxes_roundtrip() {
+        let msg = CtrlMsg::SetMuxes {
+            muxes: vec![Addr::new(10, 0, 2, 1)],
+        };
+        assert_eq!(CtrlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(CtrlMsg::decode(&Bytes::new()).is_none());
+        assert!(CtrlMsg::decode(&Bytes::from_static(&[9, 0, 0])).is_none());
+        let mut truncated = CtrlMsg::SetMuxes {
+            muxes: vec![Addr::new(1, 1, 1, 1)],
+        }
+        .encode()
+        .to_vec();
+        truncated.pop();
+        assert!(CtrlMsg::decode(&Bytes::from(truncated)).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Ananta-style L4 load balancer (the substrate Yoda rides on).
+//!
+//! Yoda (paper §3) requires exactly four things of the cloud's L4 LB:
+//!
+//! 1. **split** incoming VIP traffic across the Yoda instances assigned to
+//!    that VIP,
+//! 2. keep **per-flow affinity** so a connection's packets keep reaching
+//!    the same instance,
+//! 3. **re-steer** a flow to a surviving instance when its instance is
+//!    removed from the VIP mapping (failure or VIP re-assignment),
+//! 4. **SNAT** instance-originated connections so servers see the VIP.
+//!
+//! This crate implements those four properties with an [`EdgeRouter`]
+//! (owns the VIP addresses, ECMP-hashes each connection to a mux) and a
+//! pool of [`Mux`] nodes (per-VIP instance lists + a learned flow table,
+//! IP-in-IP encapsulation toward instances). Mapping updates are applied
+//! **per mux, non-atomically** — the paper's §4.5 transient-overload
+//! constraint exists precisely because of this, and the Figure 16(d)
+//! experiment measures it.
+
+#![forbid(unsafe_code)]
+
+pub mod ctrl;
+pub mod mux;
+pub mod router;
+
+pub use ctrl::{CtrlMsg, CTRL_PORT};
+pub use mux::{FlowKey, Mux};
+pub use router::EdgeRouter;
+
+use yoda_netsim::hash::hash_pair;
+use yoda_netsim::{Addr, Endpoint};
+
+/// Canonical, direction-insensitive key for a connection: both directions
+/// of a flow (and every ECMP/mux decision about it) hash identically.
+pub fn canonical_flow(a: Endpoint, b: Endpoint) -> (Endpoint, Endpoint) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Deterministic rendezvous (highest-random-weight) choice of one
+/// candidate for a flow. Minimal disruption: adding/removing a candidate
+/// only remaps the flows that hashed to it.
+///
+/// Returns `None` when `candidates` is empty.
+pub fn rendezvous_pick(a: Endpoint, b: Endpoint, candidates: &[Addr]) -> Option<Addr> {
+    let (lo, hi) = canonical_flow(a, b);
+    let key = hash_pair(
+        0xECA7,
+        ((lo.addr.as_u32() as u64) << 16) | lo.port as u64,
+        ((hi.addr.as_u32() as u64) << 16) | hi.port as u64,
+    );
+    candidates
+        .iter()
+        .copied()
+        .max_by_key(|c| hash_pair(key, c.as_u32() as u64, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(d: u8, port: u16) -> Endpoint {
+        Endpoint::new(Addr::new(10, 0, 0, d), port)
+    }
+
+    #[test]
+    fn canonical_is_direction_insensitive() {
+        let a = ep(1, 4000);
+        let b = ep(2, 80);
+        assert_eq!(canonical_flow(a, b), canonical_flow(b, a));
+    }
+
+    #[test]
+    fn rendezvous_is_direction_insensitive() {
+        let cands: Vec<Addr> = (1..=5).map(|i| Addr::new(10, 0, 9, i)).collect();
+        let a = ep(1, 4000);
+        let b = ep(2, 80);
+        assert_eq!(rendezvous_pick(a, b, &cands), rendezvous_pick(b, a, &cands));
+    }
+
+    #[test]
+    fn rendezvous_minimal_disruption() {
+        let cands: Vec<Addr> = (1..=10).map(|i| Addr::new(10, 0, 9, i)).collect();
+        let removed = cands[4];
+        let reduced: Vec<Addr> = cands.iter().copied().filter(|&c| c != removed).collect();
+        let mut moved = 0;
+        let mut total = 0;
+        for port in 1000..3000u16 {
+            let a = ep(1, port);
+            let b = ep(2, 80);
+            let before = rendezvous_pick(a, b, &cands).unwrap();
+            if before != removed {
+                total += 1;
+                if rendezvous_pick(a, b, &reduced).unwrap() != before {
+                    moved += 1;
+                }
+            }
+        }
+        assert_eq!(moved, 0, "{moved}/{total} unaffected flows moved");
+    }
+
+    #[test]
+    fn rendezvous_balances() {
+        let cands: Vec<Addr> = (1..=4).map(|i| Addr::new(10, 0, 9, i)).collect();
+        let mut counts = std::collections::HashMap::new();
+        for port in 1000..5000u16 {
+            let pick = rendezvous_pick(ep(1, port), ep(2, 80), &cands).unwrap();
+            *counts.entry(pick).or_insert(0usize) += 1;
+        }
+        for (&c, &n) in &counts {
+            let share = n as f64 / 4000.0;
+            assert!(share > 0.15 && share < 0.35, "{c}: {share}");
+        }
+    }
+
+    #[test]
+    fn rendezvous_empty_is_none() {
+        assert_eq!(rendezvous_pick(ep(1, 1), ep(2, 2), &[]), None);
+    }
+}

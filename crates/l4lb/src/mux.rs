@@ -1,0 +1,373 @@
+//! The software Mux: per-VIP traffic splitting with flow affinity.
+//!
+//! A [`Mux`] receives encapsulated VIP traffic from the [`EdgeRouter`](
+//! crate::router::EdgeRouter), picks the L7 instance for each connection
+//! (learned flow table, falling back to rendezvous hashing over the VIP's
+//! current instance list), and tunnels the packet to the instance with
+//! IP-in-IP encapsulation — the same structure as Ananta's Mux.
+//!
+//! SNAT support: L7 instances tunnel their *server-bound* packets (whose
+//! inner source is the VIP) through a mux. The mux learns the reverse
+//! mapping from the encapsulation's outer source, so the server's reply
+//! packets — which hash to this same mux — come back to the right
+//! instance. This is how Yoda instances "use the VIP in interacting with
+//! both the client and the server" (front-and-back indirection, §3).
+
+use std::collections::HashMap;
+
+use yoda_netsim::{Addr, Ctx, Endpoint, Node, Packet, TimerToken, PROTO_CTRL, PROTO_IPIP};
+
+use crate::ctrl::CtrlMsg;
+use crate::{canonical_flow, rendezvous_pick};
+
+/// Canonical connection key used by the flow table.
+pub type FlowKey = (Endpoint, Endpoint);
+
+#[derive(Debug, Clone)]
+struct VipEntry {
+    instances: Vec<Addr>,
+    version: u64,
+}
+
+/// One L4 mux node.
+pub struct Mux {
+    addr: Addr,
+    vips: HashMap<Addr, VipEntry>,
+    flows: HashMap<FlowKey, Addr>,
+    /// Packets forwarded toward instances.
+    pub forwarded: u64,
+    /// Flows whose instance disappeared and were re-steered.
+    pub resteered: u64,
+    /// Packets dropped for lack of any live instance.
+    pub dropped: u64,
+    /// Mapping updates applied.
+    pub updates_applied: u64,
+}
+
+impl Mux {
+    /// Creates a mux bound to `addr`.
+    pub fn new(addr: Addr) -> Self {
+        Mux {
+            addr,
+            vips: HashMap::new(),
+            flows: HashMap::new(),
+            forwarded: 0,
+            resteered: 0,
+            dropped: 0,
+            updates_applied: 0,
+        }
+    }
+
+    /// Directly installs a VIP mapping (scenario scripting; the controller
+    /// normally sends [`CtrlMsg::SetVipMap`] packets).
+    pub fn set_vip_map(&mut self, vip: Addr, instances: Vec<Addr>, version: u64) {
+        match self.vips.get(&vip) {
+            Some(e) if e.version >= version => return,
+            _ => {}
+        }
+        self.vips.insert(vip, VipEntry { instances, version });
+        self.updates_applied += 1;
+    }
+
+    /// The current instance list for a VIP.
+    pub fn vip_map(&self, vip: Addr) -> Option<&[Addr]> {
+        self.vips.get(&vip).map(|e| e.instances.as_slice())
+    }
+
+    /// Number of learned flow-table entries.
+    pub fn flow_entries(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Which VIP this packet belongs to (dst for client→VIP, src for
+    /// server→VIP replies on SNAT'd connections... the VIP side of either).
+    fn vip_of(pkt: &Packet) -> Option<Addr> {
+        if pkt.dst.addr.is_vip() {
+            Some(pkt.dst.addr)
+        } else if pkt.src.addr.is_vip() {
+            Some(pkt.src.addr)
+        } else {
+            None
+        }
+    }
+
+    fn steer(&mut self, ctx: &mut Ctx<'_>, inner: Packet) {
+        let Some(vip) = Mux::vip_of(&inner) else {
+            self.dropped += 1;
+            return;
+        };
+        let key = canonical_flow(inner.src, inner.dst);
+        let live: &[Addr] = self
+            .vips
+            .get(&vip)
+            .map(|e| e.instances.as_slice())
+            .unwrap_or(&[]);
+        let chosen = match self.flows.get(&key) {
+            Some(&inst) if live.contains(&inst) => Some(inst),
+            Some(_) => {
+                // Instance failed or VIP re-assigned: pick a survivor. The
+                // new instance recovers the flow from TCPStore.
+                self.resteered += 1;
+                rendezvous_pick(inner.src, inner.dst, live)
+            }
+            None => rendezvous_pick(inner.src, inner.dst, live),
+        };
+        let Some(inst) = chosen else {
+            self.dropped += 1;
+            return;
+        };
+        self.flows.insert(key, inst);
+        self.forwarded += 1;
+        ctx.send(inner.encapsulate(self.addr, inst));
+    }
+
+    /// Handles an instance-originated packet (SNAT path): learn the
+    /// reverse mapping and forward the inner packet onward natively.
+    fn snat_out(&mut self, ctx: &mut Ctx<'_>, inner: Packet, from_instance: Addr) {
+        let key = canonical_flow(inner.src, inner.dst);
+        self.flows.insert(key, from_instance);
+        self.forwarded += 1;
+        ctx.send(inner);
+    }
+}
+
+impl Node for Mux {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        match pkt.protocol {
+            PROTO_IPIP => {
+                let Some(inner) = pkt.decapsulate() else {
+                    self.dropped += 1;
+                    return;
+                };
+                if inner.src.addr.is_vip() && !inner.dst.addr.is_vip() {
+                    // Outbound SNAT traffic tunneled from an instance.
+                    self.snat_out(ctx, inner, pkt.src.addr);
+                } else {
+                    // VIP-bound traffic relayed by the edge router.
+                    self.steer(ctx, inner);
+                }
+            }
+            PROTO_CTRL => {
+                if let Some(msg) = CtrlMsg::decode(&pkt.payload) {
+                    match msg {
+                        CtrlMsg::SetVipMap {
+                            vip,
+                            instances,
+                            version,
+                        } => self.set_vip_map(vip, instances, version),
+                        CtrlMsg::RemoveVip { vip, version } => {
+                            if self.vips.get(&vip).is_none_or(|e| e.version < version) {
+                                self.vips.remove(&vip);
+                                self.updates_applied += 1;
+                            }
+                        }
+                        CtrlMsg::SetMuxes { .. } => {}
+                    }
+                }
+            }
+            yoda_netsim::PROTO_PING => {
+                let reply = Packet::new(pkt.dst, pkt.src, pkt.protocol, pkt.payload.clone());
+                ctx.send(reply);
+            }
+            _ => {
+                // Bare VIP packet delivered directly (tests): steer it.
+                self.steer(ctx, pkt);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use yoda_netsim::{Engine, SimTime, Topology, Zone, PROTO_TCP};
+
+    /// Sink node that records everything it receives.
+    struct Sink {
+        received: Vec<Packet>,
+    }
+    impl Node for Sink {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.received.push(pkt);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+    }
+
+    fn vip_pkt(client_port: u16) -> Packet {
+        Packet::new(
+            Endpoint::new(Addr::new(172, 16, 0, 1), client_port),
+            Endpoint::new(Addr::new(100, 0, 0, 1), 80),
+            PROTO_TCP,
+            Bytes::from_static(b"payload"),
+        )
+    }
+
+    struct Ctx2 {
+        eng: Engine,
+        mux: yoda_netsim::NodeId,
+        inst1: yoda_netsim::NodeId,
+        inst2: yoda_netsim::NodeId,
+    }
+
+    fn setup() -> Ctx2 {
+        let mut eng = Engine::with_topology(5, Topology::uniform(SimTime::from_micros(100)));
+        let mux_addr = Addr::new(10, 0, 2, 1);
+        let i1 = Addr::new(10, 0, 0, 1);
+        let i2 = Addr::new(10, 0, 0, 2);
+        let mux = eng.add_node("mux", mux_addr, Zone::Dc, Box::new(Mux::new(mux_addr)));
+        let inst1 = eng.add_node("inst1", i1, Zone::Dc, Box::new(Sink { received: vec![] }));
+        let inst2 = eng.add_node("inst2", i2, Zone::Dc, Box::new(Sink { received: vec![] }));
+        eng.node_mut::<Mux>(mux)
+            .set_vip_map(Addr::new(100, 0, 0, 1), vec![i1, i2], 1);
+        Ctx2 {
+            eng,
+            mux,
+            inst1,
+            inst2,
+        }
+    }
+
+    #[test]
+    fn flow_affinity_and_failover() {
+        let mut t = setup();
+        let vip = Addr::new(100, 0, 0, 1);
+        // Drive the mux handler directly (unit level).
+        let mux = t.eng.node_mut::<Mux>(t.mux);
+        let p = vip_pkt(40_000);
+        let key = canonical_flow(p.src, p.dst);
+        let live = mux.vip_map(vip).unwrap().to_vec();
+        let first = rendezvous_pick(p.src, p.dst, &live).unwrap();
+        // Install then re-check affinity through the public steer path by
+        // simulating its decision logic.
+        mux.flows.insert(key, first);
+        assert!(mux.vip_map(vip).unwrap().contains(&first));
+        // Remove the chosen instance: the mux must re-steer to survivor.
+        let survivor: Vec<Addr> = live.iter().copied().filter(|&a| a != first).collect();
+        mux.set_vip_map(vip, survivor.clone(), 2);
+        assert_eq!(mux.vip_map(vip).unwrap(), survivor.as_slice());
+        let _ = (t.inst1, t.inst2);
+    }
+
+    #[test]
+    fn stale_updates_ignored() {
+        let mut t = setup();
+        let vip = Addr::new(100, 0, 0, 1);
+        let mux = t.eng.node_mut::<Mux>(t.mux);
+        let newer = vec![Addr::new(10, 0, 0, 9)];
+        mux.set_vip_map(vip, newer.clone(), 5);
+        mux.set_vip_map(vip, vec![Addr::new(10, 0, 0, 1)], 3); // stale
+        assert_eq!(mux.vip_map(vip).unwrap(), newer.as_slice());
+    }
+
+    #[test]
+    fn end_to_end_steering_through_engine() {
+        // Build a small engine with an injector node that owns the client
+        // address and sends VIP traffic via the mux (encapsulated).
+        struct Injector {
+            mux: Addr,
+            count: u16,
+        }
+        impl Node for Injector {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for i in 0..self.count {
+                    let pkt = vip_pkt(40_000 + i);
+                    let outer = pkt.encapsulate(Addr::new(172, 16, 0, 1), self.mux);
+                    ctx.send(outer);
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+        }
+        let mut t = setup();
+        let mux_addr = Addr::new(10, 0, 2, 1);
+        t.eng.add_node(
+            "injector",
+            Addr::new(172, 16, 0, 1),
+            Zone::Dc,
+            Box::new(Injector {
+                mux: mux_addr,
+                count: 100,
+            }),
+        );
+        t.eng.run_for(SimTime::from_millis(10));
+        let r1 = t.eng.node_ref::<Sink>(t.inst1).received.len();
+        let r2 = t.eng.node_ref::<Sink>(t.inst2).received.len();
+        assert_eq!(r1 + r2, 100, "all packets steered");
+        assert!(r1 > 10 && r2 > 10, "split across instances: {r1}/{r2}");
+        // Delivered packets are IPIP-encapsulated toward the instance.
+        let sample = &t.eng.node_ref::<Sink>(t.inst1).received[0];
+        assert_eq!(sample.protocol, PROTO_IPIP);
+        let inner = sample.decapsulate().unwrap();
+        assert_eq!(inner.dst.addr, Addr::new(100, 0, 0, 1));
+        assert_eq!(t.eng.node_ref::<Mux>(t.mux).forwarded, 100);
+    }
+
+    #[test]
+    fn no_instances_drops() {
+        let mut t = setup();
+        let vip = Addr::new(100, 0, 0, 1);
+        {
+            let mux = t.eng.node_mut::<Mux>(t.mux);
+            mux.set_vip_map(vip, vec![], 9);
+        }
+        struct OneShot {
+            mux: Addr,
+        }
+        impl Node for OneShot {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let outer = vip_pkt(1).encapsulate(Addr::new(172, 16, 0, 1), self.mux);
+                ctx.send(outer);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+        }
+        t.eng.add_node(
+            "oneshot",
+            Addr::new(172, 16, 0, 1),
+            Zone::Dc,
+            Box::new(OneShot {
+                mux: Addr::new(10, 0, 2, 1),
+            }),
+        );
+        t.eng.run_for(SimTime::from_millis(5));
+        assert_eq!(t.eng.node_ref::<Mux>(t.mux).dropped, 1);
+    }
+
+    #[test]
+    fn ctrl_packet_updates_map() {
+        let mut t = setup();
+        let vip = Addr::new(100, 0, 0, 1);
+        struct CtrlSender {
+            mux: Addr,
+        }
+        impl Node for CtrlSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let msg = CtrlMsg::SetVipMap {
+                    vip: Addr::new(100, 0, 0, 1),
+                    instances: vec![Addr::new(10, 0, 0, 7)],
+                    version: 10,
+                };
+                let me = Endpoint::new(Addr::new(10, 0, 4, 1), 0);
+                ctx.send(msg.into_packet(me, self.mux));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+        }
+        t.eng.add_node(
+            "ctrl",
+            Addr::new(10, 0, 4, 1),
+            Zone::Dc,
+            Box::new(CtrlSender {
+                mux: Addr::new(10, 0, 2, 1),
+            }),
+        );
+        t.eng.run_for(SimTime::from_millis(5));
+        assert_eq!(
+            t.eng.node_ref::<Mux>(t.mux).vip_map(vip).unwrap(),
+            &[Addr::new(10, 0, 0, 7)]
+        );
+    }
+}

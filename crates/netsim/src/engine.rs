@@ -1,0 +1,737 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns the nodes, the event queue, the clock, the topology, and
+//! a seeded RNG. Events are totally ordered by `(time, insertion-sequence)`
+//! so runs are deterministic. Scenario scripts interleave with the
+//! simulation through [`Engine::schedule`], which runs an arbitrary closure
+//! against the engine at a given simulated time (e.g. "fail instance 3 at
+//! t = 5 s").
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::addr::Addr;
+use crate::node::{Node, TimerId, TimerToken};
+use crate::packet::Packet;
+use crate::time::SimTime;
+use crate::topology::{Topology, Zone};
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
+
+/// Index of a node within the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+struct NodeMeta {
+    name: String,
+    zone: Zone,
+    alive: bool,
+    /// Bumped on restore so stale timers from before a crash never fire.
+    generation: u64,
+    addrs: Vec<Addr>,
+}
+
+enum EventKind {
+    Packet(Packet),
+    Timer {
+        node: NodeId,
+        id: u64,
+        generation: u64,
+        token: TimerToken,
+    },
+    Control(Box<dyn FnOnce(&mut Engine)>),
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Engine internals shared with [`Ctx`]; split from the node storage so a
+/// node can borrow the core mutably while the engine holds the node.
+pub(crate) struct EngineCore {
+    time: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    meta: Vec<NodeMeta>,
+    addr_map: HashMap<Addr, NodeId>,
+    rng: StdRng,
+    topology: Topology,
+    trace: TraceSink,
+    cancelled_timers: HashSet<u64>,
+    next_timer_id: u64,
+    packets_sent: u64,
+    packets_dropped: u64,
+}
+
+impl EngineCore {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn record_packet(&mut self, node: NodeId, kind: TraceKind, pkt: &Packet, detail: &str) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let ev = TraceEvent {
+            time: self.time,
+            node: self.meta[node.0].name.clone(),
+            kind,
+            src: Some(pkt.src),
+            dst: Some(pkt.dst),
+            protocol: Some(pkt.protocol),
+            detail: detail.to_string(),
+        };
+        self.trace.record(ev);
+    }
+
+    fn send_from(&mut self, from: NodeId, pkt: Packet, extra_delay: SimTime) {
+        let from_zone = self.meta[from.0].zone;
+        let to_zone = match self.addr_map.get(&pkt.dst.addr) {
+            Some(id) => self.meta[id.0].zone,
+            None => {
+                self.packets_dropped += 1;
+                self.record_packet(from, TraceKind::PacketDropped, &pkt, "no route");
+                return;
+            }
+        };
+        self.packets_sent += 1;
+        self.record_packet(from, TraceKind::PacketSent, &pkt, "");
+        let now = self.time + extra_delay;
+        let wire = pkt.wire_len();
+        match self
+            .topology
+            .delivery_time(now, from_zone, to_zone, wire, &mut self.rng)
+        {
+            Some(at) => self.push(at, EventKind::Packet(pkt)),
+            None => {
+                self.packets_dropped += 1;
+                self.record_packet(from, TraceKind::PacketDropped, &pkt, "link loss");
+            }
+        }
+    }
+}
+
+/// The world a [`Node`] sees while handling an event.
+pub struct Ctx<'a> {
+    core: &'a mut EngineCore,
+    node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.time
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// This node's name.
+    pub fn node_name(&self) -> &str {
+        &self.core.meta[self.node.0].name
+    }
+
+    /// The engine's deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// Sends a packet; it is routed by destination address through the
+    /// topology's latency/bandwidth model.
+    pub fn send(&mut self, pkt: Packet) {
+        self.core.send_from(self.node, pkt, SimTime::ZERO);
+    }
+
+    /// Sends a packet after an additional local delay (models local
+    /// processing/CPU time before the packet leaves the NIC).
+    pub fn send_after(&mut self, delay: SimTime, pkt: Packet) {
+        self.core.send_from(self.node, pkt, delay);
+    }
+
+    /// Arms a one-shot timer `delay` from now.
+    pub fn set_timer(&mut self, delay: SimTime, token: TimerToken) -> TimerId {
+        let id = self.core.next_timer_id;
+        self.core.next_timer_id += 1;
+        let generation = self.core.meta[self.node.0].generation;
+        let at = self.core.time + delay;
+        self.core.push(
+            at,
+            EventKind::Timer {
+                node: self.node,
+                id,
+                generation,
+                token,
+            },
+        );
+        TimerId(id)
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled_timers.insert(id.0);
+    }
+
+    /// Records a free-form annotation in the trace (no-op when tracing is
+    /// disabled).
+    pub fn trace_note(&mut self, detail: impl Into<String>) {
+        if !self.core.trace.is_enabled() {
+            return;
+        }
+        let ev = TraceEvent {
+            time: self.core.time,
+            node: self.core.meta[self.node.0].name.clone(),
+            kind: TraceKind::Note,
+            src: None,
+            dst: None,
+            protocol: None,
+            detail: detail.into(),
+        };
+        self.core.trace.record(ev);
+    }
+
+    /// Looks up which node currently owns an address (if any, and alive).
+    pub fn resolve(&self, addr: Addr) -> Option<NodeId> {
+        self.core
+            .addr_map
+            .get(&addr)
+            .copied()
+            .filter(|id| self.core.meta[id.0].alive)
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// See the [crate-level docs](crate) for an example.
+pub struct Engine {
+    core: EngineCore,
+    nodes: Vec<Option<Box<dyn Node>>>,
+}
+
+impl Engine {
+    /// Creates an engine with the paper's Azure-testbed topology and the
+    /// given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Engine::with_topology(seed, Topology::azure_testbed())
+    }
+
+    /// Creates an engine with an explicit topology.
+    pub fn with_topology(seed: u64, topology: Topology) -> Self {
+        Engine {
+            core: EngineCore {
+                time: SimTime::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+                meta: Vec::new(),
+                addr_map: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                topology,
+                trace: TraceSink::disabled(),
+                cancelled_timers: HashSet::new(),
+                next_timer_id: 0,
+                packets_sent: 0,
+                packets_dropped: 0,
+            },
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Enables packet tracing with the given event capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.core.trace = TraceSink::with_capacity(capacity);
+    }
+
+    /// Read access to the trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.core.trace
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.time
+    }
+
+    /// Total packets handed to the network so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.core.packets_sent
+    }
+
+    /// Total packets dropped (dead node, unknown address, or link loss).
+    pub fn packets_dropped(&self) -> u64 {
+        self.core.packets_dropped
+    }
+
+    /// Mutable access to the topology (e.g. to degrade a link mid-run).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.core.topology
+    }
+
+    /// Adds a node owning `addr`, placed in `zone`. Its
+    /// [`Node::on_start`] runs at the current simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already owned by another node.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        addr: Addr,
+        zone: Zone,
+        node: Box<dyn Node>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let prev = self.core.addr_map.insert(addr, id);
+        assert!(prev.is_none(), "address {addr} already in use");
+        self.core.meta.push(NodeMeta {
+            name: name.into(),
+            zone,
+            alive: true,
+            generation: 0,
+            addrs: vec![addr],
+        });
+        self.nodes.push(Some(node));
+        self.core.push(
+            self.core.time,
+            EventKind::Control(Box::new(move |eng: &mut Engine| {
+                eng.with_node(id, |node, ctx| node.on_start(ctx));
+            })),
+        );
+        id
+    }
+
+    /// Assigns an additional address to an existing node (e.g. the edge
+    /// router owning every VIP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already owned.
+    pub fn add_addr(&mut self, id: NodeId, addr: Addr) {
+        let prev = self.core.addr_map.insert(addr, id);
+        assert!(prev.is_none(), "address {addr} already in use");
+        self.core.meta[id.0].addrs.push(addr);
+    }
+
+    /// Looks up the node owning an address, if any.
+    pub fn node_by_addr(&self, addr: Addr) -> Option<NodeId> {
+        self.core.addr_map.get(&addr).copied()
+    }
+
+    /// The node's display name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.core.meta[id.0].name
+    }
+
+    /// Whether the node is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.core.meta[id.0].alive
+    }
+
+    /// Kills a node: all packets to or from it are dropped and its armed
+    /// timers are suppressed, mimicking a VM crash.
+    pub fn fail_node(&mut self, id: NodeId) {
+        let meta = &mut self.core.meta[id.0];
+        meta.alive = false;
+        if self.core.trace.is_enabled() {
+            let ev = TraceEvent {
+                time: self.core.time,
+                node: self.core.meta[id.0].name.clone(),
+                kind: TraceKind::NodeFailed,
+                src: None,
+                dst: None,
+                protocol: None,
+                detail: String::new(),
+            };
+            self.core.trace.record(ev);
+        }
+    }
+
+    /// Restores a failed node **with fresh state**: the crashed process is
+    /// replaced by `fresh`, its generation is bumped (old timers never
+    /// fire), and `on_start` runs.
+    pub fn restore_node(&mut self, id: NodeId, fresh: Box<dyn Node>) {
+        let meta = &mut self.core.meta[id.0];
+        meta.alive = true;
+        meta.generation += 1;
+        self.nodes[id.0] = Some(fresh);
+        if self.core.trace.is_enabled() {
+            let ev = TraceEvent {
+                time: self.core.time,
+                node: self.core.meta[id.0].name.clone(),
+                kind: TraceKind::NodeRestored,
+                src: None,
+                dst: None,
+                protocol: None,
+                detail: String::new(),
+            };
+            self.core.trace.record(ev);
+        }
+        self.core.push(
+            self.core.time,
+            EventKind::Control(Box::new(move |eng: &mut Engine| {
+                eng.with_node(id, |node, ctx| node.on_start(ctx));
+            })),
+        );
+    }
+
+    /// Schedules `f` to run against the engine at simulated time `at`
+    /// (clamped to now if already past).
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
+        let t = at.max(self.core.time);
+        self.core.push(t, EventKind::Control(Box::new(f)));
+    }
+
+    /// Immutable, downcast access to a node's concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is of a different concrete type.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        let node = self.nodes[id.0]
+            .as_deref()
+            .expect("node is being dispatched");
+        (node as &dyn Any)
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutable, downcast access to a node's concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is of a different concrete type.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let node = self.nodes[id.0]
+            .as_deref_mut()
+            .expect("node is being dispatched");
+        (node as &mut dyn Any)
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Runs `f` against a node's concrete type with a live [`Ctx`], so
+    /// scenario scripts (via [`Engine::schedule`]) can invoke node methods
+    /// that send packets or arm timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is of a different concrete type.
+    pub fn with_node_ctx<T: Node>(&mut self, id: NodeId, f: impl FnOnce(&mut T, &mut Ctx<'_>)) {
+        self.with_node(id, |node, ctx| {
+            let t = (node.as_mut() as &mut dyn Any)
+                .downcast_mut::<T>()
+                .expect("node type mismatch");
+            f(t, ctx);
+        });
+    }
+
+    /// Runs `f` with the node taken out of its slot and a [`Ctx`] over the
+    /// engine core, then puts the node back.
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut Box<dyn Node>, &mut Ctx<'_>)) {
+        let mut node = match self.nodes[id.0].take() {
+            Some(n) => n,
+            // Node slot empty (programming error) — treat as dead.
+            None => return,
+        };
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node: id,
+            };
+            f(&mut node, &mut ctx);
+        }
+        self.nodes[id.0] = Some(node);
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Reverse(ev) = match self.core.events.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(ev.time >= self.core.time, "time went backwards");
+        self.core.time = ev.time;
+        match ev.kind {
+            EventKind::Packet(pkt) => {
+                let id = match self.core.addr_map.get(&pkt.dst.addr) {
+                    Some(id) => *id,
+                    None => {
+                        self.core.packets_dropped += 1;
+                        return true;
+                    }
+                };
+                if !self.core.meta[id.0].alive {
+                    self.core.packets_dropped += 1;
+                    self.core
+                        .record_packet(id, TraceKind::PacketDropped, &pkt, "dead node");
+                    return true;
+                }
+                self.core
+                    .record_packet(id, TraceKind::PacketDelivered, &pkt, "");
+                self.with_node(id, |node, ctx| node.on_packet(ctx, pkt));
+            }
+            EventKind::Timer {
+                node,
+                id,
+                generation,
+                token,
+            } => {
+                if self.core.cancelled_timers.remove(&id) {
+                    return true;
+                }
+                let meta = &self.core.meta[node.0];
+                if !meta.alive || meta.generation != generation {
+                    return true;
+                }
+                self.with_node(node, |node, ctx| node.on_timer(ctx, token));
+            }
+            EventKind::Control(f) => f(self),
+        }
+        true
+    }
+
+    /// Runs until the event queue drains or the clock reaches `deadline`;
+    /// the clock is left at `deadline` (or the last event time if earlier).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.core.events.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.core.time < deadline {
+            self.core.time = deadline;
+        }
+    }
+
+    /// Runs for `duration` of simulated time from now.
+    pub fn run_for(&mut self, duration: SimTime) {
+        let deadline = self.core.time + duration;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue is completely drained.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PROTO_PING};
+    use crate::Endpoint;
+    use bytes::Bytes;
+
+    /// Test node: replies to every ping and counts deliveries.
+    struct Ponger {
+        received: u64,
+    }
+    impl Node for Ponger {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.received += 1;
+            let reply = Packet::new(pkt.dst, pkt.src, pkt.protocol, Bytes::new());
+            ctx.send(reply);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+    }
+
+    /// Test node: pings a peer on start, counts replies, re-arms a timer.
+    struct Pinger {
+        peer: Addr,
+        replies: u64,
+        timer_fires: u64,
+        cancel_next: bool,
+    }
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let me = Endpoint::new(Addr::new(10, 0, 0, 1), 0);
+            let pkt = Packet::new(me, Endpoint::new(self.peer, 0), PROTO_PING, Bytes::new());
+            ctx.send(pkt);
+            let id = ctx.set_timer(SimTime::from_millis(5), TimerToken::new(1));
+            if self.cancel_next {
+                ctx.cancel_timer(id);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {
+            self.replies += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {
+            self.timer_fires += 1;
+        }
+    }
+
+    fn two_node_engine(cancel: bool) -> (Engine, NodeId, NodeId) {
+        let mut eng = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
+        let a = eng.add_node(
+            "pinger",
+            Addr::new(10, 0, 0, 1),
+            Zone::Dc,
+            Box::new(Pinger {
+                peer: Addr::new(10, 0, 0, 2),
+                replies: 0,
+                timer_fires: 0,
+                cancel_next: cancel,
+            }),
+        );
+        let b = eng.add_node(
+            "ponger",
+            Addr::new(10, 0, 0, 2),
+            Zone::Dc,
+            Box::new(Ponger { received: 0 }),
+        );
+        (eng, a, b)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (mut eng, a, b) = two_node_engine(false);
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(eng.node_ref::<Ponger>(b).received, 1);
+        assert_eq!(eng.node_ref::<Pinger>(a).replies, 1);
+        assert_eq!(eng.node_ref::<Pinger>(a).timer_fires, 1);
+        // 1 ms each way.
+        assert_eq!(eng.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let (mut eng, a, _) = two_node_engine(true);
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(eng.node_ref::<Pinger>(a).timer_fires, 0);
+    }
+
+    #[test]
+    fn dead_node_drops_packets() {
+        let (mut eng, a, b) = two_node_engine(false);
+        eng.fail_node(b);
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(eng.node_ref::<Pinger>(a).replies, 0);
+        assert!(eng.packets_dropped() >= 1);
+        assert!(!eng.is_alive(b));
+    }
+
+    #[test]
+    fn restore_runs_fresh_state() {
+        let (mut eng, _a, b) = two_node_engine(false);
+        eng.run_for(SimTime::from_millis(10));
+        eng.fail_node(b);
+        eng.restore_node(b, Box::new(Ponger { received: 0 }));
+        assert!(eng.is_alive(b));
+        assert_eq!(eng.node_ref::<Ponger>(b).received, 0);
+    }
+
+    #[test]
+    fn stale_timers_suppressed_after_restore() {
+        // Pinger arms a 5 ms timer at t=0; restore at t=1 ms bumps the
+        // generation, so the pre-crash timer must not fire.
+        let (mut eng, a, _b) = two_node_engine(false);
+        eng.run_until(SimTime::from_millis(1));
+        eng.fail_node(a);
+        eng.restore_node(
+            a,
+            Box::new(Pinger {
+                peer: Addr::new(10, 0, 0, 2),
+                replies: 0,
+                timer_fires: 0,
+                cancel_next: true, // restart cancels its own new timer
+            }),
+        );
+        eng.run_for(SimTime::from_millis(20));
+        assert_eq!(eng.node_ref::<Pinger>(a).timer_fires, 0);
+    }
+
+    #[test]
+    fn scheduled_closures_run_in_order() {
+        let mut eng = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
+        let log: std::rc::Rc<std::cell::RefCell<Vec<u32>>> = Default::default();
+        let l1 = log.clone();
+        let l2 = log.clone();
+        eng.schedule(SimTime::from_millis(5), move |_| l1.borrow_mut().push(2));
+        eng.schedule(SimTime::from_millis(1), move |_| l2.borrow_mut().push(1));
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(*log.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let run = |seed| {
+            let (mut eng, a, _) = two_node_engine(false);
+            let _ = seed;
+            eng.run_for(SimTime::from_millis(10));
+            (eng.packets_sent(), eng.node_ref::<Pinger>(a).replies)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn duplicate_address_panics() {
+        let mut eng = Engine::new(1);
+        eng.add_node(
+            "a",
+            Addr::new(10, 0, 0, 1),
+            Zone::Dc,
+            Box::new(Ponger { received: 0 }),
+        );
+        eng.add_node(
+            "b",
+            Addr::new(10, 0, 0, 1),
+            Zone::Dc,
+            Box::new(Ponger { received: 0 }),
+        );
+    }
+
+    #[test]
+    fn multi_addr_node_receives_on_all() {
+        let mut eng = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
+        let vip = Addr::new(100, 0, 0, 1);
+        let b = eng.add_node(
+            "router",
+            Addr::new(10, 0, 0, 2),
+            Zone::Dc,
+            Box::new(Ponger { received: 0 }),
+        );
+        eng.add_addr(b, vip);
+        let _a = eng.add_node(
+            "pinger",
+            Addr::new(10, 0, 0, 1),
+            Zone::Dc,
+            Box::new(Pinger {
+                peer: vip,
+                replies: 0,
+                timer_fires: 0,
+                cancel_next: true,
+            }),
+        );
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(eng.node_ref::<Ponger>(b).received, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Stable, seedable hashing.
+//!
+//! One hash implementation shared by every component that needs
+//! *deterministic, run-independent* digests: the TCPStore consistent ring
+//! (K hash functions = K seeds), the L4 mux's flow hashing, and Yoda's
+//! deterministic SYN-ACK ISN (`hash(client ip, port)`, paper §4.1).
+//! `std`'s `DefaultHasher` is avoided because its output may change across
+//! Rust releases.
+
+/// FNV-1a 64-bit with a seed mixed in and a splitmix64 finalizer.
+///
+/// # Examples
+///
+/// ```
+/// use yoda_netsim::hash::hash_bytes;
+///
+/// let a = hash_bytes(0, b"flow");
+/// let b = hash_bytes(1, b"flow");
+/// assert_ne!(a, b, "seeds give independent hash functions");
+/// assert_eq!(a, hash_bytes(0, b"flow"), "stable across calls");
+/// ```
+pub fn hash_bytes(seed: u64, data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // Final avalanche (splitmix64 tail) to decorrelate nearby keys.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Hashes two u64 operands (convenience over [`hash_bytes`]).
+pub fn hash_pair(seed: u64, a: u64, b: u64) -> u64 {
+    let mut buf = [0u8; 16];
+    buf[..8].copy_from_slice(&a.to_be_bytes());
+    buf[8..].copy_from_slice(&b.to_be_bytes());
+    hash_bytes(seed, &buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_bytes(7, b"abc"), hash_bytes(7, b"abc"));
+        assert_eq!(hash_pair(1, 2, 3), hash_pair(1, 2, 3));
+    }
+
+    #[test]
+    fn avalanche_on_small_changes() {
+        let a = hash_bytes(0, b"key-1");
+        let b = hash_bytes(0, b"key-2");
+        // Hamming distance of the outputs should be substantial.
+        let distance = (a ^ b).count_ones();
+        assert!(distance > 16, "distance {distance}");
+    }
+
+    #[test]
+    fn seed_changes_everything() {
+        assert_ne!(hash_pair(0, 1, 2), hash_pair(1, 1, 2));
+    }
+}

@@ -1,0 +1,205 @@
+//! Packets: the unit of exchange between nodes.
+//!
+//! A [`Packet`] models an IP datagram: source and destination endpoints, a
+//! protocol number, and an opaque payload. Higher layers (`yoda-tcp`,
+//! `yoda-tcpstore`, ...) define their own wire formats and carry them in the
+//! payload, which keeps the crates decoupled exactly the way real network
+//! layers are.
+//!
+//! IP-in-IP encapsulation — used by the Ananta-style L4 load balancer to
+//! steer VIP traffic to a specific L7 instance — is modelled faithfully: the
+//! inner packet is serialized into the payload of an outer packet with
+//! protocol [`PROTO_IPIP`].
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::addr::{Addr, Endpoint};
+
+/// Protocol number carried in the packet header (IANA-flavoured).
+pub type Protocol = u8;
+
+/// ICMP-style ping, used by the controller's health monitor.
+pub const PROTO_PING: Protocol = 1;
+/// TCP segments (see `yoda-tcp`).
+pub const PROTO_TCP: Protocol = 6;
+/// IP-in-IP encapsulation (L4 LB → L7 instance steering).
+pub const PROTO_IPIP: Protocol = 4;
+/// Datagram RPC, used by TCPStore and controller↔instance messages.
+pub const PROTO_RPC: Protocol = 17;
+/// Control-plane messages (mux map updates, rule installs).
+pub const PROTO_CTRL: Protocol = 42;
+
+/// Fixed per-packet header overhead, in bytes, charged by the link model
+/// (IP 20 + simulated L2 framing 18).
+pub const HEADER_OVERHEAD: usize = 38;
+
+/// An IP-style datagram.
+///
+/// # Examples
+///
+/// ```
+/// use yoda_netsim::{Addr, Endpoint, Packet, PROTO_TCP};
+/// use bytes::Bytes;
+///
+/// let src = Endpoint::new(Addr::new(172, 16, 0, 1), 40000);
+/// let dst = Endpoint::new(Addr::new(100, 0, 0, 1), 80);
+/// let pkt = Packet::new(src, dst, PROTO_TCP, Bytes::from_static(b"hi"));
+/// assert_eq!(pkt.wire_len(), 2 + 38);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source endpoint (address + transport port, folded together for
+    /// convenience; port is 0 for portless protocols like ping).
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// Protocol number selecting the payload's wire format.
+    pub protocol: Protocol,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(src: Endpoint, dst: Endpoint, protocol: Protocol, payload: Bytes) -> Self {
+        Packet {
+            src,
+            dst,
+            protocol,
+            payload,
+        }
+    }
+
+    /// Total bytes this packet occupies on the wire (payload + headers).
+    pub fn wire_len(&self) -> usize {
+        self.payload.len() + HEADER_OVERHEAD
+    }
+
+    /// Serializes the packet (used for IP-in-IP encapsulation).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.payload.len());
+        buf.put_slice(&self.src.to_bytes());
+        buf.put_slice(&self.dst.to_bytes());
+        buf.put_u8(self.protocol);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Deserializes a packet produced by [`Packet::encode`].
+    ///
+    /// Returns `None` when the buffer is malformed or truncated.
+    pub fn decode(mut b: Bytes) -> Option<Packet> {
+        if b.len() < 17 {
+            return None;
+        }
+        let mut six = [0u8; 6];
+        six.copy_from_slice(&b[0..6]);
+        let src = Endpoint::from_bytes(&six);
+        six.copy_from_slice(&b[6..12]);
+        let dst = Endpoint::from_bytes(&six);
+        let protocol = b[12];
+        let len = u32::from_be_bytes([b[13], b[14], b[15], b[16]]) as usize;
+        if b.len() < 17 + len {
+            return None;
+        }
+        let payload = b.split_off(17).slice(0..len);
+        Some(Packet {
+            src,
+            dst,
+            protocol,
+            payload,
+        })
+    }
+
+    /// Wraps this packet in an IP-in-IP outer packet addressed to
+    /// `outer_dst` (the chosen L7 instance), from `outer_src` (the mux).
+    pub fn encapsulate(&self, outer_src: Addr, outer_dst: Addr) -> Packet {
+        Packet {
+            src: Endpoint::new(outer_src, 0),
+            dst: Endpoint::new(outer_dst, 0),
+            protocol: PROTO_IPIP,
+            payload: self.encode(),
+        }
+    }
+
+    /// Unwraps an IP-in-IP packet, returning the inner packet.
+    ///
+    /// Returns `None` if this packet is not [`PROTO_IPIP`] or the inner
+    /// bytes are malformed.
+    pub fn decapsulate(&self) -> Option<Packet> {
+        if self.protocol != PROTO_IPIP {
+            return None;
+        }
+        Packet::decode(self.payload.clone())
+    }
+
+    /// The flow key of this packet: the (src, dst) endpoint pair.
+    pub fn flow(&self) -> (Endpoint, Endpoint) {
+        (self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet::new(
+            Endpoint::new(Addr::new(172, 16, 0, 9), 51515),
+            Endpoint::new(Addr::new(100, 0, 0, 2), 80),
+            PROTO_TCP,
+            Bytes::from_static(b"GET / HTTP/1.0\r\n\r\n"),
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = sample();
+        let decoded = Packet::decode(p.encode()).expect("decodes");
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let enc = sample().encode();
+        for cut in [0, 5, 12, 16, enc.len() - 1] {
+            assert!(Packet::decode(enc.slice(0..cut)).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn encap_decap_roundtrip() {
+        let inner = sample();
+        let mux = Addr::new(10, 0, 0, 100);
+        let inst = Addr::new(10, 0, 0, 5);
+        let outer = inner.encapsulate(mux, inst);
+        assert_eq!(outer.protocol, PROTO_IPIP);
+        assert_eq!(outer.dst.addr, inst);
+        assert_eq!(outer.decapsulate().expect("inner"), inner);
+    }
+
+    #[test]
+    fn decap_requires_ipip() {
+        assert!(sample().decapsulate().is_none());
+    }
+
+    #[test]
+    fn wire_len_includes_overhead() {
+        let p = sample();
+        assert_eq!(p.wire_len(), p.payload.len() + HEADER_OVERHEAD);
+    }
+
+    #[test]
+    fn nested_encapsulation() {
+        // Double-encap must round-trip too (not used by Yoda, but the codec
+        // should be closed under composition).
+        let inner = sample();
+        let mid = inner.encapsulate(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2));
+        let outer = mid.encapsulate(Addr::new(3, 3, 3, 3), Addr::new(4, 4, 4, 4));
+        assert_eq!(
+            outer.decapsulate().unwrap().decapsulate().unwrap(),
+            inner
+        );
+    }
+}

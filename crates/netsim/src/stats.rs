@@ -1,0 +1,262 @@
+//! Measurement helpers: histograms, percentiles, CDFs, counters.
+//!
+//! Every experiment in the paper reports medians, P90s, or CDFs; this
+//! module is the single implementation used across the workspace so all
+//! figures are computed identically.
+
+use crate::time::SimTime;
+
+/// A simple exact histogram of `f64` samples.
+///
+/// Samples are kept (not bucketed) so any percentile is exact; experiment
+/// scales here are ≤ a few million samples, for which this is fine.
+///
+/// # Examples
+///
+/// ```
+/// use yoda_netsim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.percentile(50.0), 2.0);
+/// assert_eq!(h.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Adds a [`SimTime`] sample in milliseconds.
+    pub fn record_time_ms(&mut self, t: SimTime) {
+        self.record(t.as_micros() as f64 / 1000.0);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Returns the `p`-th percentile (nearest-rank), `0.0 < p <= 100.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is out of range.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "empty histogram");
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+        self.sort();
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
+    }
+
+    /// Median (P50).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.samples.is_empty(), "empty histogram");
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`.
+    pub fn cdf_at(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.sort();
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// Dumps an `n`-point CDF as `(value, cumulative_fraction)` pairs,
+    /// suitable for plotting (paper Figure 12(a)).
+    pub fn cdf_points(&mut self, n: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        self.sort();
+        let len = self.samples.len();
+        (1..=n)
+            .map(|i| {
+                let idx = (i * len).div_ceil(n).clamp(1, len) - 1;
+                (self.samples[idx], (idx + 1) as f64 / len as f64)
+            })
+            .collect()
+    }
+
+    /// Read-only access to the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use yoda_netsim::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.percentile(50.0), 50.0);
+        assert_eq!(h.percentile(90.0), 90.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert_eq!(h.percentile(1.0), 1.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.record(7.5);
+        assert_eq!(h.median(), 7.5);
+        assert_eq!(h.percentile(99.0), 7.5);
+        assert_eq!(h.mean(), 7.5);
+        assert_eq!(h.min(), 7.5);
+        assert_eq!(h.max(), 7.5);
+    }
+
+    #[test]
+    fn cdf_at_boundaries() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.cdf_at(0.5), 0.0);
+        assert_eq!(h.cdf_at(2.0), 0.5);
+        assert_eq!(h.cdf_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000 {
+            h.record((v % 97) as f64);
+        }
+        let pts = h.cdf_points(20);
+        assert_eq!(pts.len(), 20);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn record_time_ms_converts() {
+        let mut h = Histogram::new();
+        h.record_time_ms(SimTime::from_millis(151));
+        assert_eq!(h.median(), 151.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_percentile_panics() {
+        Histogram::new().percentile(50.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! TCP segments and their wire format.
+//!
+//! Segments ride inside [`Packet`] payloads with
+//! protocol `PROTO_TCP`. The wire format is a
+//! simplified fixed 21-byte header (no options) followed by the payload;
+//! keeping an explicit byte encoding (rather than passing structs around)
+//! is what lets Yoda's flow-state records store and replay *actual packet
+//! headers*, as the paper's TCPStore does.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use yoda_netsim::{Endpoint, Packet, PROTO_TCP};
+
+use crate::seq::SeqNum;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Flags {
+    /// Synchronize sequence numbers.
+    pub syn: bool,
+    /// Acknowledgement field significant.
+    pub ack: bool,
+    /// No more data from sender.
+    pub fin: bool,
+    /// Reset the connection.
+    pub rst: bool,
+    /// Push function.
+    pub psh: bool,
+}
+
+impl Flags {
+    /// SYN only.
+    pub const SYN: Flags = Flags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// SYN+ACK.
+    pub const SYN_ACK: Flags = Flags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// ACK only.
+    pub const ACK: Flags = Flags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// FIN+ACK.
+    pub const FIN_ACK: Flags = Flags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
+    /// RST only.
+    pub const RST: Flags = Flags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
+
+    fn to_byte(self) -> u8 {
+        (self.syn as u8)
+            | ((self.ack as u8) << 1)
+            | ((self.fin as u8) << 2)
+            | ((self.rst as u8) << 3)
+            | ((self.psh as u8) << 4)
+    }
+
+    fn from_byte(b: u8) -> Flags {
+        Flags {
+            syn: b & 1 != 0,
+            ack: b & 2 != 0,
+            fin: b & 4 != 0,
+            rst: b & 8 != 0,
+            psh: b & 16 != 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Flags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn {
+            parts.push("SYN");
+        }
+        if self.fin {
+            parts.push("FIN");
+        }
+        if self.rst {
+            parts.push("RST");
+        }
+        if self.psh {
+            parts.push("PSH");
+        }
+        if self.ack {
+            parts.push("ACK");
+        }
+        write!(f, "{}", if parts.is_empty() { "." } else { "" })?;
+        write!(f, "{}", parts.join("+"))
+    }
+}
+
+/// A TCP segment (header + payload).
+///
+/// # Examples
+///
+/// ```
+/// use yoda_tcp::{Segment, Flags, SeqNum};
+/// use bytes::Bytes;
+///
+/// let seg = Segment {
+///     src_port: 40000,
+///     dst_port: 80,
+///     seq: SeqNum::new(1000),
+///     ack: SeqNum::new(0),
+///     flags: Flags::SYN,
+///     window: 65535,
+///     payload: Bytes::new(),
+/// };
+/// let decoded = Segment::decode(seg.encode()).unwrap();
+/// assert_eq!(decoded, seg);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: SeqNum,
+    /// Acknowledgement number (next expected byte), valid when `flags.ack`.
+    pub ack: SeqNum,
+    /// Control flags.
+    pub flags: Flags,
+    /// Advertised receive window (32-bit: our wire format has no window
+    /// scaling option, so the field is wide enough natively).
+    pub window: u32,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Size of the encoded segment header.
+pub const SEGMENT_HEADER_LEN: usize = 21;
+
+impl Segment {
+    /// Sequence-space length: payload bytes plus one for SYN and FIN.
+    pub fn seq_len(&self) -> u32 {
+        self.payload.len() as u32 + self.flags.syn as u32 + self.flags.fin as u32
+    }
+
+    /// The sequence number just past this segment.
+    pub fn seq_end(&self) -> SeqNum {
+        self.seq + self.seq_len()
+    }
+
+    /// Encodes the segment to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(SEGMENT_HEADER_LEN + self.payload.len());
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq.raw());
+        buf.put_u32(self.ack.raw());
+        buf.put_u8(self.flags.to_byte());
+        buf.put_u32(self.window);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes a segment; `None` on truncation or length mismatch.
+    pub fn decode(b: Bytes) -> Option<Segment> {
+        if b.len() < SEGMENT_HEADER_LEN {
+            return None;
+        }
+        let len = u32::from_be_bytes([b[17], b[18], b[19], b[20]]) as usize;
+        if b.len() != SEGMENT_HEADER_LEN + len {
+            return None;
+        }
+        Some(Segment {
+            src_port: u16::from_be_bytes([b[0], b[1]]),
+            dst_port: u16::from_be_bytes([b[2], b[3]]),
+            seq: SeqNum::new(u32::from_be_bytes([b[4], b[5], b[6], b[7]])),
+            ack: SeqNum::new(u32::from_be_bytes([b[8], b[9], b[10], b[11]])),
+            flags: Flags::from_byte(b[12]),
+            window: u32::from_be_bytes([b[13], b[14], b[15], b[16]]),
+            payload: b.slice(SEGMENT_HEADER_LEN..),
+        })
+    }
+
+    /// Wraps this segment in a network packet from `src` to `dst`.
+    ///
+    /// The endpoint ports override the segment's ports (they must agree;
+    /// debug builds assert it).
+    pub fn into_packet(self, src: Endpoint, dst: Endpoint) -> Packet {
+        debug_assert_eq!(self.src_port, src.port, "src port mismatch");
+        debug_assert_eq!(self.dst_port, dst.port, "dst port mismatch");
+        Packet::new(src, dst, PROTO_TCP, self.encode())
+    }
+
+    /// Extracts a segment from a TCP packet; `None` for other protocols or
+    /// malformed payloads.
+    pub fn from_packet(pkt: &Packet) -> Option<Segment> {
+        if pkt.protocol != PROTO_TCP {
+            return None;
+        }
+        Segment::decode(pkt.payload.clone())
+    }
+
+    /// Short human-readable summary for traces, tcpdump-style.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} seq={} ack={} len={}",
+            self.flags,
+            self.seq,
+            self.ack,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yoda_netsim::Addr;
+
+    fn seg(flags: Flags, payload: &'static [u8]) -> Segment {
+        Segment {
+            src_port: 1234,
+            dst_port: 80,
+            seq: SeqNum::new(7),
+            ack: SeqNum::new(9),
+            flags,
+            window: 4096,
+            payload: Bytes::from_static(payload),
+        }
+    }
+
+    #[test]
+    fn flags_roundtrip_all_combinations() {
+        for bits in 0..32u8 {
+            let f = Flags::from_byte(bits);
+            assert_eq!(f.to_byte(), bits);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = seg(Flags::SYN_ACK, b"hello");
+        assert_eq!(Segment::decode(s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn decode_rejects_bad_lengths() {
+        let enc = seg(Flags::ACK, b"abc").encode();
+        assert!(Segment::decode(enc.slice(0..10)).is_none());
+        assert!(Segment::decode(enc.slice(0..enc.len() - 1)).is_none());
+        let mut extended = enc.to_vec();
+        extended.push(0);
+        assert!(Segment::decode(Bytes::from(extended)).is_none());
+    }
+
+    #[test]
+    fn seq_len_counts_syn_fin() {
+        assert_eq!(seg(Flags::SYN, b"").seq_len(), 1);
+        assert_eq!(seg(Flags::FIN_ACK, b"xy").seq_len(), 3);
+        assert_eq!(seg(Flags::ACK, b"xyz").seq_len(), 3);
+        assert_eq!(seg(Flags::ACK, b"ab").seq_end(), SeqNum::new(9));
+    }
+
+    #[test]
+    fn packet_roundtrip() {
+        let s = seg(Flags::ACK, b"data");
+        let src = Endpoint::new(Addr::new(1, 1, 1, 1), 1234);
+        let dst = Endpoint::new(Addr::new(2, 2, 2, 2), 80);
+        let pkt = s.clone().into_packet(src, dst);
+        assert_eq!(Segment::from_packet(&pkt).unwrap(), s);
+    }
+
+    #[test]
+    fn from_packet_rejects_non_tcp() {
+        let src = Endpoint::new(Addr::new(1, 1, 1, 1), 0);
+        let pkt = Packet::new(src, src, yoda_netsim::PROTO_PING, Bytes::new());
+        assert!(Segment::from_packet(&pkt).is_none());
+    }
+
+    #[test]
+    fn summary_mentions_flags() {
+        let text = seg(Flags::SYN_ACK, b"").summary();
+        assert!(text.contains("SYN+ACK"), "{text}");
+    }
+}

@@ -1,0 +1,572 @@
+//! [`TcpStack`]: many sockets inside one simulator node.
+//!
+//! A node embeds a `TcpStack`, forwards TCP packets and stack timers to it,
+//! and receives [`TcpEvent`]s describing connection lifecycle and data
+//! arrival. The stack handles demultiplexing by flow, listener sockets,
+//! timer (re)arming against the simulator clock, and ISN generation.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use rand::Rng;
+use yoda_netsim::{Ctx, Endpoint, Packet, SimTime, TimerToken};
+
+use crate::segment::{Flags, Segment};
+use crate::seq::SeqNum;
+use crate::socket::{SocketState, TcpConfig, TcpSocket};
+
+/// Timer-token `kind` reserved by the stack. Nodes must route timers with
+/// this kind to [`TcpStack::on_timer`].
+pub const TCP_TIMER_KIND: u32 = 0x7C9;
+
+/// Handle to a connection within a stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// What happened on a connection during packet/timer processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// A listener accepted a new connection (handshake still completing).
+    Incoming(ConnId, Endpoint),
+    /// The handshake completed.
+    Connected(ConnId),
+    /// In-order data is available via [`TcpStack::recv`].
+    Data(ConnId),
+    /// The peer closed its half of the connection.
+    PeerClosed(ConnId),
+    /// The connection fully closed (both FINs exchanged).
+    Closed(ConnId),
+    /// The connection was reset (RST or retry exhaustion).
+    Reset(ConnId),
+}
+
+impl TcpEvent {
+    /// The connection this event concerns.
+    pub fn conn(&self) -> ConnId {
+        match *self {
+            TcpEvent::Incoming(c, _)
+            | TcpEvent::Connected(c)
+            | TcpEvent::Data(c)
+            | TcpEvent::PeerClosed(c)
+            | TcpEvent::Closed(c)
+            | TcpEvent::Reset(c) => c,
+        }
+    }
+}
+
+struct ConnSlot {
+    sock: TcpSocket,
+    /// Last state reported to the owner, to generate edge-triggered events.
+    reported: SocketState,
+    reported_peer_closed: bool,
+    armed_deadline: Option<SimTime>,
+}
+
+/// A collection of TCP connections owned by one node.
+///
+/// Listener semantics: [`TcpStack::listen`] marks a local endpoint as
+/// accepting; SYNs to it spawn connections. SYNs (or other segments) to
+/// non-listening endpoints get a RST when `rst_unknown` is set (real-OS
+/// behaviour), or are silently dropped otherwise (the behaviour of an L7
+/// proxy that lost its state — paper §7.2's HAProxy failure mode).
+pub struct TcpStack {
+    cfg: TcpConfig,
+    rst_unknown: bool,
+    conns: HashMap<ConnId, ConnSlot>,
+    by_flow: HashMap<(Endpoint, Endpoint), ConnId>,
+    listeners: Vec<Endpoint>,
+    next_id: u64,
+    next_ephemeral: u16,
+}
+
+impl TcpStack {
+    /// Creates a stack with the given socket configuration.
+    pub fn new(cfg: TcpConfig) -> Self {
+        TcpStack {
+            cfg,
+            rst_unknown: true,
+            conns: HashMap::new(),
+            by_flow: HashMap::new(),
+            listeners: Vec::new(),
+            next_id: 1,
+            next_ephemeral: 33000,
+        }
+    }
+
+    /// Configures whether segments for unknown flows elicit a RST.
+    pub fn set_rst_unknown(&mut self, rst: bool) {
+        self.rst_unknown = rst;
+    }
+
+    /// Starts accepting connections on `local`.
+    pub fn listen(&mut self, local: Endpoint) {
+        if !self.listeners.contains(&local) {
+            self.listeners.push(local);
+        }
+    }
+
+    /// Randomizes where ephemeral allocation starts (real stacks do this;
+    /// it also keeps distinct hosts' port spaces decorrelated, which
+    /// matters to Yoda because the backend connection reuses the client's
+    /// source port — two clients sharing a port, VIP, and backend would
+    /// collide on the server-side 5-tuple).
+    pub fn set_ephemeral_base(&mut self, base: u16) {
+        self.next_ephemeral = 33000 + base % 28_000;
+    }
+
+    /// Allocates an ephemeral port (wrapping within 33000..61000).
+    pub fn ephemeral_port(&mut self) -> u16 {
+        let p = self.next_ephemeral;
+        self.next_ephemeral = if p >= 60999 { 33000 } else { p + 1 };
+        p
+    }
+
+    /// Number of live (non-terminal) connections.
+    pub fn active_conns(&self) -> usize {
+        self.conns
+            .values()
+            .filter(|c| !c.sock.state().is_terminal())
+            .count()
+    }
+
+    /// Opens a connection from `local` to `remote`, sending the SYN.
+    /// The ISN is drawn from the simulation RNG.
+    pub fn connect(&mut self, ctx: &mut Ctx<'_>, local: Endpoint, remote: Endpoint) -> ConnId {
+        let iss = SeqNum::new(ctx.rng().gen());
+        self.connect_with_isn(ctx, local, remote, iss)
+    }
+
+    /// Opens a connection with an explicit ISN (Yoda reuses the client ISN
+    /// toward the backend, §4.1).
+    pub fn connect_with_isn(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        local: Endpoint,
+        remote: Endpoint,
+        iss: SeqNum,
+    ) -> ConnId {
+        let (sock, syn) = TcpSocket::connect(self.cfg, local, remote, iss, ctx.now());
+        let id = self.insert(sock);
+        self.by_flow.insert((remote, local), id);
+        ctx.send(syn.into_packet(local, remote));
+        self.rearm(ctx, id);
+        id
+    }
+
+    fn insert(&mut self, sock: TcpSocket) -> ConnId {
+        let id = ConnId(self.next_id);
+        self.next_id += 1;
+        let reported = sock.state();
+        self.conns.insert(
+            id,
+            ConnSlot {
+                sock,
+                reported,
+                reported_peer_closed: false,
+                armed_deadline: None,
+            },
+        );
+        id
+    }
+
+    /// Queues data on a connection.
+    pub fn send(&mut self, ctx: &mut Ctx<'_>, id: ConnId, data: &[u8]) {
+        let now = ctx.now();
+        if let Some(slot) = self.conns.get_mut(&id) {
+            let segs = slot.sock.send(data, now);
+            let (local, remote) = (slot.sock.local(), slot.sock.remote());
+            for s in segs {
+                ctx.send(s.into_packet(local, remote));
+            }
+            self.rearm(ctx, id);
+        }
+    }
+
+    /// Drains received data from a connection.
+    pub fn recv(&mut self, id: ConnId) -> bytes::Bytes {
+        self.conns
+            .get_mut(&id)
+            .map(|s| s.sock.take_data())
+            .unwrap_or_default()
+    }
+
+    /// Closes the send side of a connection.
+    pub fn close(&mut self, ctx: &mut Ctx<'_>, id: ConnId) {
+        let now = ctx.now();
+        if let Some(slot) = self.conns.get_mut(&id) {
+            let segs = slot.sock.close(now);
+            let (local, remote) = (slot.sock.local(), slot.sock.remote());
+            for s in segs {
+                ctx.send(s.into_packet(local, remote));
+            }
+            self.rearm(ctx, id);
+        }
+    }
+
+    /// Aborts a connection with a RST.
+    pub fn abort(&mut self, ctx: &mut Ctx<'_>, id: ConnId) {
+        if let Some(slot) = self.conns.get_mut(&id) {
+            let rst = slot.sock.abort();
+            let (local, remote) = (slot.sock.local(), slot.sock.remote());
+            ctx.send(rst.into_packet(local, remote));
+        }
+    }
+
+    /// Immutable access to a connection's socket.
+    pub fn socket(&self, id: ConnId) -> Option<&TcpSocket> {
+        self.conns.get(&id).map(|s| &s.sock)
+    }
+
+    /// Handles a TCP packet addressed to this node. Returns lifecycle/data
+    /// events for the owner.
+    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) -> Vec<TcpEvent> {
+        let Some(seg) = Segment::from_packet(pkt) else {
+            return Vec::new();
+        };
+        let flow = (pkt.src, pkt.dst);
+        let now = ctx.now();
+        let mut events = Vec::new();
+        let id = match self.by_flow.entry(flow) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(_) => {
+                // New flow: maybe a listener accepts it.
+                if seg.flags.syn && !seg.flags.ack && self.listeners.contains(&pkt.dst) {
+                    let iss = SeqNum::new(ctx.rng().gen());
+                    if let Some((sock, synack)) =
+                        TcpSocket::accept(self.cfg, pkt.dst, pkt.src, &seg, iss, now)
+                    {
+                        let id = self.insert(sock);
+                        self.by_flow.insert(flow, id);
+                        ctx.send(synack.into_packet(pkt.dst, pkt.src));
+                        self.rearm(ctx, id);
+                        events.push(TcpEvent::Incoming(id, pkt.src));
+                        return events;
+                    }
+                }
+                if self.rst_unknown && !seg.flags.rst {
+                    let rst = Segment {
+                        src_port: pkt.dst.port,
+                        dst_port: pkt.src.port,
+                        seq: seg.ack,
+                        ack: seg.seq_end(),
+                        flags: Flags::RST,
+                        window: 0,
+                        payload: bytes::Bytes::new(),
+                    };
+                    ctx.send(rst.into_packet(pkt.dst, pkt.src));
+                }
+                return events;
+            }
+        };
+        let slot = self.conns.get_mut(&id).expect("flow maps to live conn");
+        let out = slot.sock.on_segment(&seg, now);
+        let (local, remote) = (slot.sock.local(), slot.sock.remote());
+        for s in out {
+            ctx.send(s.into_packet(local, remote));
+        }
+        self.emit_events(id, &mut events);
+        self.rearm(ctx, id);
+        events
+    }
+
+    /// Handles a stack timer. Nodes must call this for timers whose token
+    /// kind equals [`TCP_TIMER_KIND`].
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) -> Vec<TcpEvent> {
+        debug_assert_eq!(token.kind, TCP_TIMER_KIND);
+        let id = ConnId(token.a);
+        let now = ctx.now();
+        let mut events = Vec::new();
+        let Some(slot) = self.conns.get_mut(&id) else {
+            return events;
+        };
+        // Stale timer (a newer one was armed): ignore.
+        match slot.armed_deadline {
+            Some(d) if d <= now => slot.armed_deadline = None,
+            _ => return events,
+        }
+        let out = slot.sock.on_timer(now);
+        let (local, remote) = (slot.sock.local(), slot.sock.remote());
+        for s in out {
+            ctx.send(s.into_packet(local, remote));
+        }
+        self.emit_events(id, &mut events);
+        self.rearm(ctx, id);
+        events
+    }
+
+    /// Emits edge-triggered events by comparing current vs. reported state.
+    fn emit_events(&mut self, id: ConnId, events: &mut Vec<TcpEvent>) {
+        let slot = self.conns.get_mut(&id).expect("conn exists");
+        let state = slot.sock.state();
+        if slot.reported != state {
+            match state {
+                SocketState::Established => events.push(TcpEvent::Connected(id)),
+                SocketState::Reset => events.push(TcpEvent::Reset(id)),
+                SocketState::Closed | SocketState::TimeWait => events.push(TcpEvent::Closed(id)),
+                _ => {}
+            }
+            slot.reported = state;
+        }
+        if slot.sock.peer_closed() && !slot.reported_peer_closed {
+            slot.reported_peer_closed = true;
+            events.push(TcpEvent::PeerClosed(id));
+        }
+        if slot.sock.delivered_bytes() > 0 {
+            // Data event whenever there is unread data; the owner drains.
+            events.push(TcpEvent::Data(id));
+        }
+        // Garbage-collect terminal connections.
+        if state.is_terminal() {
+            let flow = (slot.sock.remote(), slot.sock.local());
+            self.by_flow.remove(&flow);
+        }
+    }
+
+    /// Re-arms the node timer for a connection when its deadline moved
+    /// earlier (or was unarmed).
+    fn rearm(&mut self, ctx: &mut Ctx<'_>, id: ConnId) {
+        let Some(slot) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let Some(deadline) = slot.sock.next_deadline() else {
+            return;
+        };
+        let need = match slot.armed_deadline {
+            Some(armed) => deadline < armed,
+            None => true,
+        };
+        if need {
+            slot.armed_deadline = Some(deadline);
+            let delay = deadline.saturating_sub(ctx.now());
+            ctx.set_timer(delay, TimerToken::new(TCP_TIMER_KIND).with_a(id.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use yoda_netsim::{Addr, Engine, Node, SimTime, Topology, Zone};
+
+    /// Node wrapping a stack that acts as an echo server: sends back
+    /// whatever it receives, then closes when the peer closes.
+    struct EchoServer {
+        stack: TcpStack,
+        listen: Endpoint,
+        echoed: u64,
+    }
+    impl Node for EchoServer {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
+            self.stack.listen(self.listen);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            for ev in self.stack.on_packet(ctx, &pkt) {
+                match ev {
+                    TcpEvent::Data(id) => {
+                        let data = self.stack.recv(id);
+                        self.echoed += data.len() as u64;
+                        self.stack.send(ctx, id, &data);
+                    }
+                    TcpEvent::PeerClosed(id) => self.stack.close(ctx, id),
+                    _ => {}
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+            self.stack.on_timer(ctx, token);
+        }
+    }
+
+    /// Client that sends one blob and collects the echo.
+    struct BlobClient {
+        stack: TcpStack,
+        local: Addr,
+        server: Endpoint,
+        blob: Vec<u8>,
+        received: Vec<u8>,
+        conn: Option<ConnId>,
+        done_at: Option<SimTime>,
+    }
+    impl Node for BlobClient {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let port = self.stack.ephemeral_port();
+            let local = Endpoint::new(self.local, port);
+            let id = self.stack.connect(ctx, local, self.server);
+            self.conn = Some(id);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            for ev in self.stack.on_packet(ctx, &pkt) {
+                match ev {
+                    TcpEvent::Connected(id) => {
+                        let blob = self.blob.clone();
+                        self.stack.send(ctx, id, &blob);
+                    }
+                    TcpEvent::Data(id) => {
+                        let data = self.stack.recv(id);
+                        self.received.extend_from_slice(&data);
+                        if self.received.len() >= self.blob.len() {
+                            self.stack.close(ctx, id);
+                            self.done_at.get_or_insert(ctx.now());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+            self.stack.on_timer(ctx, token);
+        }
+    }
+
+    fn run_echo(blob_len: usize, loss: f64) -> (Engine, yoda_netsim::NodeId, Vec<u8>) {
+        let mut topo = Topology::uniform(SimTime::from_millis(5));
+        if loss > 0.0 {
+            topo.set_link_bidir(
+                Zone::Dc,
+                Zone::Dc,
+                yoda_netsim::LinkSpec {
+                    latency: SimTime::from_millis(5),
+                    jitter: SimTime::ZERO,
+                    bandwidth_bps: None,
+                    loss,
+                },
+            );
+        }
+        let mut eng = Engine::with_topology(3, topo);
+        let server_ep = Endpoint::new(Addr::new(10, 1, 0, 1), 80);
+        eng.add_node(
+            "server",
+            server_ep.addr,
+            Zone::Dc,
+            Box::new(EchoServer {
+                stack: TcpStack::new(TcpConfig::default()),
+                listen: server_ep,
+                echoed: 0,
+            }),
+        );
+        let blob: Vec<u8> = (0..blob_len).map(|i| (i % 253) as u8).collect();
+        let client_id = eng.add_node(
+            "client",
+            Addr::new(10, 2, 0, 1),
+            Zone::Dc,
+            Box::new(BlobClient {
+                stack: TcpStack::new(TcpConfig::default()),
+                local: Addr::new(10, 2, 0, 1),
+                server: server_ep,
+                blob: blob.clone(),
+                received: Vec::new(),
+                conn: None,
+                done_at: None,
+            }),
+        );
+        eng.run_for(SimTime::from_secs(60));
+        (eng, client_id, blob)
+    }
+
+    #[test]
+    fn echo_small_blob_over_network() {
+        let (eng, client_id, blob) = run_echo(100, 0.0);
+        let client = eng.node_ref::<BlobClient>(client_id);
+        assert_eq!(client.received, blob);
+        // 5 ms/hop: SYN, SYN-ACK, data, echo ≈ 4 hops ≈ 20 ms.
+        let done = client.done_at.expect("completed");
+        assert!(done < SimTime::from_millis(100), "took {done}");
+    }
+
+    #[test]
+    fn echo_large_blob_over_network() {
+        let (eng, client_id, blob) = run_echo(500_000, 0.0);
+        let client = eng.node_ref::<BlobClient>(client_id);
+        assert_eq!(client.received.len(), blob.len());
+        assert_eq!(client.received, blob);
+    }
+
+    #[test]
+    fn echo_survives_packet_loss() {
+        let (eng, client_id, blob) = run_echo(50_000, 0.05);
+        let client = eng.node_ref::<BlobClient>(client_id);
+        assert_eq!(client.received, blob, "retransmissions recover all data");
+    }
+
+    #[test]
+    fn unknown_flow_gets_rst() {
+        // A data segment to a stack with no matching flow and no listener
+        // must elicit RST (real-OS behaviour).
+        struct Probe {
+            got_rst: bool,
+            server: Endpoint,
+        }
+        impl Node for Probe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let seg = Segment {
+                    src_port: 5555,
+                    dst_port: self.server.port,
+                    seq: SeqNum::new(10),
+                    ack: SeqNum::new(0),
+                    flags: Flags::ACK,
+                    window: 100,
+                    payload: bytes::Bytes::from_static(b"stray"),
+                };
+                let me = Endpoint::new(Addr::new(10, 2, 0, 1), 5555);
+                ctx.send(seg.into_packet(me, self.server));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+                if let Some(seg) = Segment::from_packet(&pkt) {
+                    if seg.flags.rst {
+                        self.got_rst = true;
+                    }
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+        }
+        let mut eng = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
+        let server_ep = Endpoint::new(Addr::new(10, 1, 0, 1), 80);
+        eng.add_node(
+            "server",
+            server_ep.addr,
+            Zone::Dc,
+            Box::new(EchoServer {
+                stack: TcpStack::new(TcpConfig::default()),
+                listen: Endpoint::new(server_ep.addr, 81), // listening elsewhere
+                echoed: 0,
+            }),
+        );
+        let probe = eng.add_node(
+            "probe",
+            Addr::new(10, 2, 0, 1),
+            Zone::Dc,
+            Box::new(Probe {
+                got_rst: false,
+                server: server_ep,
+            }),
+        );
+        eng.run_for(SimTime::from_secs(1));
+        assert!(eng.node_ref::<Probe>(probe).got_rst);
+    }
+
+    #[test]
+    fn drop_unknown_mode_sends_nothing() {
+        let mut stack = TcpStack::new(TcpConfig::default());
+        stack.set_rst_unknown(false);
+        assert!(!stack.rst_unknown);
+    }
+
+    #[test]
+    fn ephemeral_ports_wrap() {
+        let mut stack = TcpStack::new(TcpConfig::default());
+        let first = stack.ephemeral_port();
+        assert_eq!(first, 33000);
+        for _ in 0..(60999 - 33000) {
+            stack.ephemeral_port();
+        }
+        assert_eq!(stack.ephemeral_port(), 33000);
+    }
+
+    #[test]
+    fn event_conn_accessor() {
+        let ev = TcpEvent::Connected(ConnId(9));
+        assert_eq!(ev.conn(), ConnId(9));
+        let _: &dyn Any = &ev;
+    }
+}

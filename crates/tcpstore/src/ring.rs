@@ -1,0 +1,205 @@
+//! Consistent hashing with K-replica selection.
+//!
+//! "For any TCPStore operation, the Memcached client first determines the
+//! K servers among the total N servers using K different hash functions,
+//! and consistent hashing." (paper §6)
+//!
+//! [`HashRing`] places each server at `vnodes` points on a 64-bit ring;
+//! [`HashRing::replicas`] hashes the key with K distinct seeds and walks
+//! the ring from each digest, skipping duplicates so the K replicas land
+//! on K distinct servers whenever K ≤ N.
+
+use yoda_netsim::hash::hash_bytes;
+use yoda_netsim::Addr;
+
+/// A consistent-hashing ring over store servers.
+///
+/// # Examples
+///
+/// ```
+/// use yoda_tcpstore::HashRing;
+/// use yoda_netsim::Addr;
+///
+/// let servers: Vec<Addr> = (1..=10).map(|i| Addr::new(10, 0, 1, i)).collect();
+/// let ring = HashRing::new(&servers, 100);
+/// let replicas = ring.replicas(b"flow:172.16.0.1:40000", 2);
+/// assert_eq!(replicas.len(), 2);
+/// assert_ne!(replicas[0], replicas[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// (ring position, server) sorted by position.
+    points: Vec<(u64, Addr)>,
+    servers: Vec<Addr>,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` virtual nodes per server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or `vnodes` is zero.
+    pub fn new(servers: &[Addr], vnodes: usize) -> Self {
+        assert!(!servers.is_empty(), "ring needs at least one server");
+        assert!(vnodes > 0, "ring needs at least one vnode per server");
+        let mut points = Vec::with_capacity(servers.len() * vnodes);
+        for &s in servers {
+            for v in 0..vnodes {
+                let mut tag = [0u8; 12];
+                tag[..4].copy_from_slice(&s.as_u32().to_be_bytes());
+                tag[4..].copy_from_slice(&(v as u64).to_be_bytes());
+                points.push((hash_bytes(0x51EE7, &tag), s));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        HashRing {
+            points,
+            servers: servers.to_vec(),
+        }
+    }
+
+    /// The servers on the ring.
+    pub fn servers(&self) -> &[Addr] {
+        &self.servers
+    }
+
+    /// The server owning `digest`'s position.
+    fn successor(&self, digest: u64) -> Addr {
+        let idx = self.points.partition_point(|&(p, _)| p < digest);
+        self.points[idx % self.points.len()].1
+    }
+
+    /// Selects `k` distinct replica servers for `key` using `k` seeded
+    /// hash functions. When `k > N` the result has N entries.
+    pub fn replicas(&self, key: &[u8], k: usize) -> Vec<Addr> {
+        let mut out: Vec<Addr> = Vec::with_capacity(k);
+        let mut fn_idx = 0u64;
+        // K hash functions; on collision with an already-chosen server,
+        // walk the ring to the next point (bounded probing).
+        while out.len() < k.min(self.servers.len()) {
+            let digest = hash_bytes(fn_idx, key);
+            let mut candidate = self.successor(digest);
+            if out.contains(&candidate) {
+                // Probe forward along the ring for the next distinct server.
+                let mut idx = self.points.partition_point(|&(p, _)| p < digest);
+                let mut steps = 0;
+                while out.contains(&candidate) && steps < self.points.len() {
+                    idx += 1;
+                    candidate = self.points[idx % self.points.len()].1;
+                    steps += 1;
+                }
+            }
+            if !out.contains(&candidate) {
+                out.push(candidate);
+            }
+            fn_idx += 1;
+        }
+        out
+    }
+
+    /// The primary server for a key (first hash function).
+    pub fn primary(&self, key: &[u8]) -> Addr {
+        self.successor(hash_bytes(0, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn servers(n: u8) -> Vec<Addr> {
+        (1..=n).map(|i| Addr::new(10, 0, 1, i)).collect()
+    }
+
+    #[test]
+    fn replicas_are_distinct() {
+        let ring = HashRing::new(&servers(10), 64);
+        for i in 0..500 {
+            let key = format!("key-{i}");
+            let reps = ring.replicas(key.as_bytes(), 3);
+            assert_eq!(reps.len(), 3);
+            assert_ne!(reps[0], reps[1]);
+            assert_ne!(reps[1], reps[2]);
+            assert_ne!(reps[0], reps[2]);
+        }
+    }
+
+    #[test]
+    fn k_capped_by_server_count() {
+        let ring = HashRing::new(&servers(2), 16);
+        let reps = ring.replicas(b"k", 5);
+        assert_eq!(reps.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_selection() {
+        let ring1 = HashRing::new(&servers(10), 64);
+        let ring2 = HashRing::new(&servers(10), 64);
+        for i in 0..100 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                ring1.replicas(key.as_bytes(), 2),
+                ring2.replicas(key.as_bytes(), 2)
+            );
+        }
+    }
+
+    #[test]
+    fn load_roughly_balanced() {
+        let ring = HashRing::new(&servers(10), 128);
+        let mut counts = std::collections::HashMap::new();
+        const N: usize = 20_000;
+        for i in 0..N {
+            let key = format!("flow:{i}");
+            *counts.entry(ring.primary(key.as_bytes())).or_insert(0usize) += 1;
+        }
+        for (&s, &c) in &counts {
+            let share = c as f64 / N as f64;
+            assert!(
+                share > 0.03 && share < 0.25,
+                "server {s} got share {share:.3}"
+            );
+        }
+        assert_eq!(counts.len(), 10, "all servers used");
+    }
+
+    #[test]
+    fn removal_remaps_only_lost_keys() {
+        // Consistent hashing: removing one server must not move keys whose
+        // primary survives.
+        let all = servers(10);
+        let ring_full = HashRing::new(&all, 128);
+        let reduced: Vec<Addr> = all.iter().copied().filter(|a| *a != all[3]).collect();
+        let ring_less = HashRing::new(&reduced, 128);
+        let mut moved_but_should_not = 0;
+        let mut total_stable = 0;
+        for i in 0..5000 {
+            let key = format!("flow:{i}");
+            let before = ring_full.primary(key.as_bytes());
+            if before != all[3] {
+                total_stable += 1;
+                if ring_less.primary(key.as_bytes()) != before {
+                    moved_but_should_not += 1;
+                }
+            }
+        }
+        assert_eq!(
+            moved_but_should_not, 0,
+            "{moved_but_should_not}/{total_stable} stable keys moved"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_ring_panics() {
+        HashRing::new(&[], 10);
+    }
+
+    #[test]
+    fn hash_seeds_decorrelate() {
+        let a = hash_bytes(0, b"same-key");
+        let b = hash_bytes(1, b"same-key");
+        assert_ne!(a, b);
+    }
+}

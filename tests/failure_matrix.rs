@@ -1,0 +1,184 @@
+//! Failure-injection matrix: kill a Yoda instance at a sweep of times so
+//! the crash lands in every phase of Figure 3/5 — during storage-a,
+//! between SYN-ACK and the header, during the backend handshake, during
+//! storage-b, and throughout the tunneling phase. The paper's invariant:
+//! with at least one live instance and a TCPStore quorum, **no
+//! established flow is ever broken**.
+
+use yoda::core::testbed::{Testbed, TestbedConfig};
+use yoda::core::YodaInstance;
+use yoda::http::{BrowserClient, BrowserConfig};
+use yoda::netsim::SimTime;
+
+/// Runs one flow with an instance failure at `fail_ms` (absolute), and
+/// returns (completed, broken, recovered).
+fn run_with_failure_at(fail_ms: u64) -> (u64, u64, u64) {
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 5,
+        num_instances: 2,
+        num_stores: 3,
+        num_backends: 4,
+        num_muxes: 2,
+        num_services: 1,
+        pages_per_site: 10,
+        ..TestbedConfig::default()
+    });
+    // Let the control plane settle before the client starts at t=1s; the
+    // flow's phases then happen at deterministic offsets from 1s.
+    tb.engine.run_for(SimTime::from_secs(1));
+    let browser = tb.add_browser(
+        0,
+        BrowserConfig {
+            processes: 2,
+            max_pages: Some(2),
+            http_timeout: SimTime::from_secs(30),
+            ..BrowserConfig::default()
+        },
+    );
+    // Fail both? No: fail instance 0 only; instance 1 must take over.
+    tb.fail_instance_at(0, SimTime::from_millis(fail_ms));
+    tb.engine.run_for(SimTime::from_secs(120));
+    let recovered = tb
+        .instances
+        .iter()
+        .filter(|&&i| tb.engine.is_alive(i))
+        .map(|&i| tb.engine.node_ref::<YodaInstance>(i).recoveries)
+        .sum();
+    let b = tb.engine.node_ref::<BrowserClient>(browser);
+    (b.completed, b.broken_flows, recovered)
+}
+
+#[test]
+fn no_flow_breaks_wherever_the_failure_lands() {
+    // The flow timeline (WAN RTT ≈ 130 ms): SYN arrives ~1.065 s,
+    // storage-a ~1.0656 s, SYN-ACK sent, header arrives ~1.196 s, backend
+    // handshake + storage-b ~1.198 s, tunneling until ~1.5-3 s, then more
+    // pages. Sweep the kill time across all of it.
+    let mut any_recovery = false;
+    for fail_ms in (1040..1400).step_by(30).chain([1500, 1800, 2500, 4000]) {
+        let (completed, broken, recovered) = run_with_failure_at(fail_ms);
+        assert_eq!(
+            broken, 0,
+            "failure at {fail_ms} ms broke a flow (completed {completed})"
+        );
+        assert!(completed > 0, "failure at {fail_ms} ms: nothing completed");
+        any_recovery |= recovered > 0;
+    }
+    assert!(any_recovery, "the sweep never exercised TCPStore recovery");
+}
+
+#[test]
+fn flows_survive_store_server_failure() {
+    // §6: when a Memcached server fails its keys are not re-replicated;
+    // reads fall back to the surviving replica (K=2).
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 6,
+        num_instances: 3,
+        num_stores: 3,
+        num_backends: 4,
+        num_muxes: 2,
+        num_services: 1,
+        pages_per_site: 10,
+        ..TestbedConfig::default()
+    });
+    tb.engine.run_for(SimTime::from_secs(1));
+    let browser = tb.add_browser(
+        0,
+        BrowserConfig {
+            processes: 4,
+            max_pages: Some(2),
+            ..BrowserConfig::default()
+        },
+    );
+    // Kill one store server early, and an instance later so recovery must
+    // read from the surviving replicas.
+    let store = tb.stores[0];
+    tb.engine
+        .schedule(SimTime::from_millis(1500), move |eng| eng.fail_node(store));
+    tb.fail_instance_at(0, SimTime::from_millis(2500));
+    tb.engine.run_for(SimTime::from_secs(120));
+    let b = tb.engine.node_ref::<BrowserClient>(browser);
+    assert_eq!(b.broken_flows, 0, "store failure must not break flows");
+    assert_eq!(b.pages_completed, 8);
+}
+
+#[test]
+fn flows_survive_mux_failure() {
+    // §9: "L4 LB has built-in resilience to instance failures". A dead
+    // mux's flows re-hash to surviving muxes; any flow that lands on a
+    // different Yoda instance recovers through TCPStore.
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 8,
+        num_instances: 3,
+        num_stores: 3,
+        num_backends: 4,
+        num_muxes: 3,
+        num_services: 1,
+        pages_per_site: 10,
+        ..TestbedConfig::default()
+    });
+    tb.engine.run_for(SimTime::from_secs(1));
+    let browser = tb.add_browser(
+        0,
+        BrowserConfig {
+            processes: 4,
+            max_pages: Some(2),
+            ..BrowserConfig::default()
+        },
+    );
+    let mux = tb.muxes[0];
+    tb.engine.schedule(SimTime::from_millis(2000), move |eng| {
+        eng.fail_node(mux);
+    });
+    tb.engine.run_for(SimTime::from_secs(120));
+    let b = tb.engine.node_ref::<BrowserClient>(browser);
+    assert_eq!(b.broken_flows, 0, "mux failure must not break flows");
+    assert_eq!(b.pages_completed, 8);
+}
+
+#[test]
+fn backend_failure_terminates_its_flows_quickly() {
+    // §5.2: when a backend dies, its connections are terminated (the
+    // clients see a reset, not a 30 s hang) and new requests avoid it.
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 10,
+        num_instances: 2,
+        num_stores: 2,
+        num_backends: 4,
+        num_muxes: 2,
+        num_services: 1,
+        pages_per_site: 10,
+        ..TestbedConfig::default()
+    });
+    tb.engine.run_for(SimTime::from_secs(1));
+    // Long downloads so flows are mid-flight at the failure.
+    let largest = tb
+        .catalog
+        .site(0)
+        .objects
+        .iter()
+        .max_by_key(|o| o.size)
+        .map(|o| o.path.clone())
+        .expect("objects");
+    let browser = tb.add_browser(
+        0,
+        BrowserConfig {
+            processes: 8,
+            max_pages: Some(2),
+            fixed_object: Some(largest),
+            http_timeout: SimTime::from_secs(30),
+            retries: 1,
+            ..BrowserConfig::default()
+        },
+    );
+    tb.fail_backend_at(0, SimTime::from_millis(2500));
+    tb.engine.run_for(SimTime::from_secs(120));
+    let b = tb.engine.node_mut::<BrowserClient>(browser);
+    // Flows through the dead backend were reset and retried; nothing hung
+    // to the HTTP timeout and everything eventually completed.
+    assert_eq!(b.timeouts, 0, "no flow may hang to the HTTP timeout");
+    assert_eq!(b.broken_flows, 0);
+    assert_eq!(b.pages_completed, 16);
+    assert!(b.resets > 0, "mid-flight flows got reset notifications");
+    assert!(b.request_latencies.max() < 25_000.0);
+}

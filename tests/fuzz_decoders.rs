@@ -1,0 +1,70 @@
+//! Decoder robustness: every wire-format parser in the workspace must
+//! reject (not panic on) arbitrary garbage, truncations, and bit flips.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use yoda::core::flowstate::{FlowRecord, SynRecord};
+use yoda::core::rules::{Rule, RuleTable};
+use yoda::core::InstanceCtrl;
+use yoda::l4lb::CtrlMsg;
+use yoda::netsim::Packet;
+use yoda::tcp::Segment;
+use yoda::tcpstore::{StoreRequest, StoreResponse};
+use yoda::trace::Trace;
+
+proptest! {
+    /// No decoder panics on arbitrary byte strings.
+    #[test]
+    fn decoders_never_panic_on_garbage(raw in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let b = Bytes::from(raw.clone());
+        let _ = Segment::decode(b.clone());
+        let _ = Packet::decode(b.clone());
+        let _ = StoreRequest::decode(&b);
+        let _ = StoreResponse::decode(&b);
+        let _ = CtrlMsg::decode(&b);
+        let _ = InstanceCtrl::decode(&b);
+        let _ = SynRecord::decode(&b);
+        let _ = FlowRecord::decode(&b);
+    }
+
+    /// Bit-flipped valid messages either still decode or are rejected —
+    /// never a panic, and length fields cannot cause out-of-bounds reads.
+    #[test]
+    fn decoders_survive_bit_flips(
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let seg = Segment {
+            src_port: 40000,
+            dst_port: 80,
+            seq: yoda::tcp::SeqNum::new(12345),
+            ack: yoda::tcp::SeqNum::new(678),
+            flags: yoda::tcp::Flags::ACK,
+            window: 65535,
+            payload: Bytes::from_static(b"GET / HTTP/1.0\r\n\r\n"),
+        };
+        let mut enc = seg.encode().to_vec();
+        let idx = flip_byte % enc.len();
+        enc[idx] ^= 1 << flip_bit;
+        let _ = Segment::decode(Bytes::from(enc));
+
+        let req = StoreRequest {
+            req_id: 7,
+            op: yoda::tcpstore::StoreOp::Set,
+            key: Bytes::from_static(b"flow:x"),
+            value: Bytes::from_static(b"value-bytes"),
+        };
+        let mut enc = req.encode().to_vec();
+        let idx = flip_byte % enc.len();
+        enc[idx] ^= 1 << flip_bit;
+        let _ = StoreRequest::decode(&Bytes::from(enc));
+    }
+
+    /// Rule/DSL and trace parsers reject arbitrary text without panicking.
+    #[test]
+    fn text_parsers_never_panic(text in "[ -~\\n]{0,300}") {
+        let _ = Rule::parse(&text);
+        let _ = RuleTable::parse(&text);
+        let _ = Trace::from_csv(&text);
+    }
+}
