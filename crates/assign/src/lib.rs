@@ -23,6 +23,8 @@
 //! reported against a combinatorial lower bound), and the [`alltoall`]
 //! baseline the paper compares against in Figure 16.
 
+#![deny(warnings)]
+
 #![forbid(unsafe_code)]
 
 pub mod alltoall;

@@ -1,9 +1,9 @@
-//! Criterion microbenchmarks for the hot paths of the Yoda data plane and
-//! the assignment solvers.
+//! Microbenchmarks for the hot paths of the Yoda data plane and the
+//! assignment solvers, on a small in-tree harness (no criterion: the
+//! build is hermetic, see DESIGN.md "Determinism invariants").
 //!
 //! * `rule_lookup/*` — the Figure 6 linear rule scan at several table
-//!   sizes (criterion-grade statistics for the same quantity the
-//!   `fig6_rule_latency` binary reports).
+//!   sizes (same quantity the `fig6_rule_latency` binary reports).
 //! * `flow_codec` — encode/decode of the TCPStore flow-state records
 //!   (runs on every connection setup).
 //! * `seq_translate` — the per-packet tunneling-phase header rewrite.
@@ -11,18 +11,41 @@
 //! * `assign/*` — greedy assignment at trace scale and the exact B&B on a
 //!   small instance.
 //! * `tcp_transfer` — a full 100 KB in-memory socket-to-socket transfer.
+//!
+//! Run with `cargo bench -p yoda-bench`. Wall-clock timing lives only in
+//! this binary; simulation code must never read the host clock.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use yoda_assign::{solve_greedy, AssignInput, GreedyConfig, VipSpec};
 use yoda_core::flowstate::FlowRecord;
 use yoda_core::rules::{Rule, RuleTable, SelectCtx};
 use yoda_http::HttpRequest;
+use yoda_netsim::rng::Rng;
 use yoda_netsim::{Addr, Endpoint, SimTime};
 use yoda_tcp::{SeqNum, Segment, TcpConfig, TcpSocket};
+
+/// Times `f` over enough iterations to fill ~200 ms, after a short
+/// warmup, and prints mean ns/iter.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warmup and calibration: estimate per-iter cost from 16 iterations.
+    let t0 = Instant::now();
+    for _ in 0..16 {
+        f();
+    }
+    let per_iter = t0.elapsed().as_nanos().max(1) / 16;
+    let iters = (200_000_000 / per_iter).clamp(16, 2_000_000) as u64;
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = t1.elapsed().as_nanos();
+    println!(
+        "{name:32} {:>12.1} ns/iter   ({iters} iters)",
+        total as f64 / iters as f64
+    );
+}
 
 fn rule_table(n: usize) -> RuleTable {
     let rules = (0..n)
@@ -37,24 +60,20 @@ fn rule_table(n: usize) -> RuleTable {
     RuleTable::from_rules(rules)
 }
 
-fn bench_rule_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rule_lookup");
+fn bench_rule_lookup() {
     for &n in &[1_000usize, 10_000] {
         let mut table = rule_table(n);
         let ctx = SelectCtx::default();
-        let mut rng = StdRng::seed_from_u64(1);
-        group.bench_function(format!("{n}_rules"), |b| {
-            b.iter(|| {
-                let obj = rng.gen_range(0..n);
-                let req = HttpRequest::get(format!("/obj{obj}/x.jpg"));
-                black_box(table.select(&req, &ctx, &mut rng))
-            })
+        let mut rng = Rng::seed_from_u64(1);
+        bench(&format!("rule_lookup/{n}_rules"), || {
+            let obj = rng.gen_range(0..n);
+            let req = HttpRequest::get(format!("/obj{obj}/x.jpg"));
+            black_box(table.select(&req, &ctx, &mut rng));
         });
     }
-    group.finish();
 }
 
-fn bench_flow_codec(c: &mut Criterion) {
+fn bench_flow_codec() {
     let record = FlowRecord {
         client: Endpoint::new(Addr::new(172, 16, 0, 1), 40000),
         vip: Endpoint::new(Addr::new(100, 0, 0, 1), 80),
@@ -62,15 +81,13 @@ fn bench_flow_codec(c: &mut Criterion) {
         client_isn: SeqNum::new(0xDEADBEEF),
         server_isn: SeqNum::new(0x12345678),
     };
-    c.bench_function("flow_codec_roundtrip", |b| {
-        b.iter(|| {
-            let enc = black_box(&record).encode();
-            black_box(FlowRecord::decode(&enc))
-        })
+    bench("flow_codec_roundtrip", || {
+        let enc = black_box(&record).encode();
+        black_box(FlowRecord::decode(&enc));
     });
 }
 
-fn bench_seq_translate(c: &mut Criterion) {
+fn bench_seq_translate() {
     // The per-packet work of the tunneling phase: decode header fields,
     // apply the Y−S offset, re-encode.
     let seg = Segment {
@@ -83,31 +100,27 @@ fn bench_seq_translate(c: &mut Criterion) {
         payload: bytes::Bytes::from(vec![0u8; 1460]),
     };
     let delta = 0x55AA55AAu32;
-    c.bench_function("seq_translate_packet", |b| {
-        b.iter(|| {
-            let mut out = seg.clone();
-            out.seq = SeqNum::new(out.seq.raw().wrapping_add(delta));
-            out.src_port = 80;
-            out.dst_port = 40000;
-            black_box(out.encode())
-        })
+    bench("seq_translate_packet", || {
+        let mut out = seg.clone();
+        out.seq = SeqNum::new(out.seq.raw().wrapping_add(delta));
+        out.src_port = 80;
+        out.dst_port = 40000;
+        black_box(out.encode());
     });
 }
 
-fn bench_hash_ring(c: &mut Criterion) {
+fn bench_hash_ring() {
     let servers: Vec<Addr> = (1..=10).map(|i| Addr::new(10, 0, 1, i)).collect();
     let ring = yoda_tcpstore::HashRing::new(&servers, 64);
     let mut i = 0u64;
-    c.bench_function("hash_ring_2_replicas", |b| {
-        b.iter(|| {
-            i += 1;
-            let key = i.to_be_bytes();
-            black_box(ring.replicas(&key, 2))
-        })
+    bench("hash_ring_2_replicas", || {
+        i += 1;
+        let key = i.to_be_bytes();
+        black_box(ring.replicas(&key, 2));
     });
 }
 
-fn bench_assign(c: &mut Criterion) {
+fn bench_assign() {
     let vips: Vec<VipSpec> = (0..110)
         .map(|i| VipSpec {
             traffic: 50.0 + (i % 23) as f64 * 400.0,
@@ -125,12 +138,8 @@ fn bench_assign(c: &mut Criterion) {
         migration_limit: None,
         previous: None,
     };
-    c.bench_function("assign_greedy_110_vips", |b| {
-        b.iter_batched(
-            || input.clone(),
-            |input| black_box(solve_greedy(&input, &GreedyConfig::default())),
-            BatchSize::SmallInput,
-        )
+    bench("assign_greedy_110_vips", || {
+        black_box(solve_greedy(&input.clone(), &GreedyConfig::default()));
     });
     let small = AssignInput {
         vips: (0..4)
@@ -148,55 +157,47 @@ fn bench_assign(c: &mut Criterion) {
         migration_limit: None,
         previous: None,
     };
-    c.bench_function("assign_exact_4x4", |b| {
-        b.iter_batched(
-            || small.clone(),
-            |input| black_box(yoda_assign::solve_exact(&input, 200)),
-            BatchSize::SmallInput,
-        )
+    bench("assign_exact_4x4", || {
+        black_box(yoda_assign::solve_exact(&small.clone(), 200));
     });
 }
 
-fn bench_tcp_transfer(c: &mut Criterion) {
-    c.bench_function("tcp_transfer_100kb", |b| {
-        b.iter(|| {
-            let cfg = TcpConfig::default();
-            let a_ep = Endpoint::new(Addr::new(10, 0, 0, 1), 1000);
-            let b_ep = Endpoint::new(Addr::new(10, 0, 0, 2), 80);
-            let t = SimTime::ZERO;
-            let (mut cl, syn) = TcpSocket::connect(cfg, a_ep, b_ep, SeqNum::new(1), t);
-            let (mut sv, synack) =
-                TcpSocket::accept(cfg, b_ep, a_ep, &syn, SeqNum::new(2), t).expect("syn");
-            let mut to_server = cl.on_segment(&synack, t);
-            to_server.extend(cl.send(&[7u8; 100_000], t));
-            loop {
-                let mut to_client = Vec::new();
-                for s in &to_server {
-                    to_client.extend(sv.on_segment(s, t));
-                }
-                if to_client.is_empty() {
-                    break;
-                }
-                to_server.clear();
-                for s in &to_client {
-                    to_server.extend(cl.on_segment(s, t));
-                }
-                if to_server.is_empty() {
-                    break;
-                }
+fn bench_tcp_transfer() {
+    bench("tcp_transfer_100kb", || {
+        let cfg = TcpConfig::default();
+        let a_ep = Endpoint::new(Addr::new(10, 0, 0, 1), 1000);
+        let b_ep = Endpoint::new(Addr::new(10, 0, 0, 2), 80);
+        let t = SimTime::ZERO;
+        let (mut cl, syn) = TcpSocket::connect(cfg, a_ep, b_ep, SeqNum::new(1), t);
+        let (mut sv, synack) =
+            TcpSocket::accept(cfg, b_ep, a_ep, &syn, SeqNum::new(2), t).expect("syn");
+        let mut to_server = cl.on_segment(&synack, t);
+        to_server.extend(cl.send(&[7u8; 100_000], t));
+        loop {
+            let mut to_client = Vec::new();
+            for s in &to_server {
+                to_client.extend(sv.on_segment(s, t));
             }
-            black_box(sv.take_data())
-        })
+            if to_client.is_empty() {
+                break;
+            }
+            to_server.clear();
+            for s in &to_client {
+                to_server.extend(cl.on_segment(s, t));
+            }
+            if to_server.is_empty() {
+                break;
+            }
+        }
+        black_box(sv.take_data());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_rule_lookup,
-    bench_flow_codec,
-    bench_seq_translate,
-    bench_hash_ring,
-    bench_assign,
-    bench_tcp_transfer
-);
-criterion_main!(benches);
+fn main() {
+    bench_rule_lookup();
+    bench_flow_codec();
+    bench_seq_translate();
+    bench_hash_ring();
+    bench_assign();
+    bench_tcp_transfer();
+}

@@ -19,8 +19,7 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use yoda_netsim::rng::Rng;
 use yoda_bench::report::{f2, print_header, print_kv, Table};
 use yoda_bench::{arg_usize, report};
 use yoda_core::rules::{Rule, RuleTable, SelectCtx};
@@ -57,7 +56,7 @@ fn main() {
     for &n in &[1_000usize, 2_000, 4_000, 6_000, 8_000, 10_000] {
         let mut table = build_table(n);
         let ctx = SelectCtx::default();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let mut hist = Histogram::new();
         for _ in 0..lookups {
             // Random object: the matching rule sits at a uniform position.

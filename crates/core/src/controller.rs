@@ -19,7 +19,7 @@
 //! breaking existing flows (they stay pinned by mux flow tables, and any
 //! that move recover via TCPStore).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use yoda_l4lb::CtrlMsg;
@@ -101,13 +101,13 @@ pub struct Controller {
     muxes: Vec<Addr>,
     router: Option<Addr>,
     instances: Vec<Addr>,
-    active: HashMap<Addr, bool>,
+    active: BTreeMap<Addr, bool>,
     spares: Vec<Addr>,
     monitored: Vec<Monitored>,
-    vips: HashMap<Endpoint, VipState>,
+    vips: BTreeMap<Endpoint, VipState>,
     next_version: u64,
     next_stats_seq: u64,
-    cpu_replies: HashMap<u64, Vec<(Addr, f64, u64)>>,
+    cpu_replies: BTreeMap<u64, Vec<(Addr, f64, u64)>>,
     last_stats_at: SimTime,
     /// Failures detected by the monitor.
     pub failures_detected: u64,
@@ -128,13 +128,13 @@ impl Controller {
             muxes: Vec::new(),
             router: None,
             instances: Vec::new(),
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             spares: Vec::new(),
             monitored: Vec::new(),
-            vips: HashMap::new(),
+            vips: BTreeMap::new(),
             next_version: 1,
             next_stats_seq: 1,
-            cpu_replies: HashMap::new(),
+            cpu_replies: BTreeMap::new(),
             last_stats_at: SimTime::ZERO,
             failures_detected: 0,
             instances_added: 0,

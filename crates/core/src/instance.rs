@@ -19,7 +19,7 @@
 //! [`SynRecord`] re-enters the connection phase from the retransmitted
 //! header, and a total miss drops the packet.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::{Bytes, BytesMut};
 use yoda_http::{parse_request, HttpRequest};
@@ -231,24 +231,24 @@ pub struct YodaInstance {
     addr: Addr,
     cfg: YodaConfig,
     muxes: Vec<Addr>,
-    vips: HashMap<Endpoint, VipConfig>,
+    vips: BTreeMap<Endpoint, VipConfig>,
     select_ctx: SelectCtx,
     store: StoreClient,
     cpu: ServiceQueue,
-    flows: HashMap<(Endpoint, Endpoint), FlowEntry>,
+    flows: BTreeMap<(Endpoint, Endpoint), FlowEntry>,
     /// (backend, vip-server-side) → client flow key.
-    rflows: HashMap<(Endpoint, Endpoint), (Endpoint, Endpoint)>,
+    rflows: BTreeMap<(Endpoint, Endpoint), (Endpoint, Endpoint)>,
     /// (src, dst) of packets awaiting a recovery lookup.
-    recovering: HashMap<(Endpoint, Endpoint), RecoverEntry>,
-    pending: HashMap<u64, PendingOp>,
+    recovering: BTreeMap<(Endpoint, Endpoint), RecoverEntry>,
+    pending: BTreeMap<u64, PendingOp>,
     next_tag: u64,
     /// Requests served (header parsed + backend selected).
     pub requests: u64,
     /// Cumulative per-VIP request counters.
-    pub per_vip_requests: HashMap<Endpoint, u64>,
+    pub per_vip_requests: BTreeMap<Endpoint, u64>,
     /// Per-VIP request counters since the last stats poll (drained by the
     /// controller's StatsRequest).
-    per_vip_window: HashMap<Endpoint, u64>,
+    per_vip_window: BTreeMap<Endpoint, u64>,
     /// Flows recovered from TCPStore after another instance's failure.
     pub recoveries: u64,
     /// Packets forwarded in the tunneling phase.
@@ -275,18 +275,18 @@ impl YodaInstance {
             addr,
             cfg,
             muxes,
-            vips: HashMap::new(),
+            vips: BTreeMap::new(),
             select_ctx: SelectCtx::default(),
             store,
             cpu: ServiceQueue::new(cores),
-            flows: HashMap::new(),
-            rflows: HashMap::new(),
-            recovering: HashMap::new(),
-            pending: HashMap::new(),
+            flows: BTreeMap::new(),
+            rflows: BTreeMap::new(),
+            recovering: BTreeMap::new(),
+            pending: BTreeMap::new(),
             next_tag: 1,
             requests: 0,
-            per_vip_requests: HashMap::new(),
-            per_vip_window: HashMap::new(),
+            per_vip_requests: BTreeMap::new(),
+            per_vip_window: BTreeMap::new(),
             recoveries: 0,
             tunneled_packets: 0,
             dropped_overload: 0,
@@ -374,7 +374,7 @@ impl YodaInstance {
     /// Heuristic: server-bound packets go via mux; client-bound go direct.
     /// Backends live in DC address space (10.x), clients outside it.
     fn is_backendish(&self, ep: Endpoint) -> bool {
-        ep.addr.octets()[0] == 10
+        matches!(ep.addr.octets(), [10, ..])
     }
 
     /// Charges CPU for one packet; returns the total processing delay, or
@@ -504,7 +504,9 @@ impl YodaInstance {
         key: (Endpoint, Endpoint),
         seg: Segment,
     ) {
-        let entry = self.flows.get_mut(&key).expect("checked by caller");
+        let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
         let (client, vip) = (entry.client, entry.vip);
         match &mut entry.phase {
             Phase::StoringSyn { .. } => {
@@ -537,11 +539,12 @@ impl YodaInstance {
                 let mut stale_retransmit = false;
                 if !seg.payload.is_empty() && seg.seq.le(*next_seq) {
                     let skip = (*next_seq - seg.seq) as usize;
-                    if skip < seg.payload.len() {
-                        buf.extend_from_slice(&seg.payload[skip..]);
-                        *next_seq += (seg.payload.len() - skip) as u32;
-                    } else {
-                        stale_retransmit = true;
+                    match seg.payload.get(skip..) {
+                        Some(fresh) if !fresh.is_empty() => {
+                            buf.extend_from_slice(fresh);
+                            *next_seq += fresh.len() as u32;
+                        }
+                        _ => stale_retransmit = true,
                     }
                 }
                 // SSL VIPs (§5.2): consume ClientHello(s) and answer each
@@ -711,7 +714,9 @@ impl YodaInstance {
             };
             self.emit(ctx, delay, syn, vss, b);
         }
-        let entry = self.flows.get_mut(&key).expect("exists");
+        let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
         entry.phase = Phase::Connecting {
             client_isn,
             backend,
@@ -827,7 +832,9 @@ impl YodaInstance {
         if self.cfg.http11_inspect && !seg.payload.is_empty() {
             self.inspect_http11(ctx, delay, key, &seg);
         }
-        let entry = self.flows.get_mut(&key).expect("caller checked");
+        let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
         let Phase::Tunneling(t) = &mut entry.phase else {
             return;
         };
@@ -875,7 +882,9 @@ impl YodaInstance {
         seg: Segment,
     ) {
         let (client, vip) = key;
-        let entry = self.flows.get_mut(&key).expect("caller checked");
+        let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
         let Phase::Tunneling(t) = &mut entry.phase else {
             return;
         };
@@ -898,7 +907,9 @@ impl YodaInstance {
         if !t.racing.is_empty() && !seg.payload.is_empty() {
             // The stored backend answered first: it wins the race.
             self.settle_race(ctx, delay, key, None);
-            let entry = self.flows.get_mut(&key).expect("exists");
+            let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
             let Phase::Tunneling(t) = &mut entry.phase else {
                 return;
             };
@@ -938,8 +949,8 @@ impl YodaInstance {
     /// briefly to forward the final ACKs.
     fn finish_flow(&mut self, ctx: &mut Ctx<'_>, key: (Endpoint, Endpoint)) {
         let (client, vip) = key;
-        let backend = match &self.flows[&key].phase {
-            Phase::Tunneling(t) => t.backend,
+        let backend = match self.flows.get(&key).map(|e| &e.phase) {
+            Some(Phase::Tunneling(t)) => t.backend,
             _ => return,
         };
         let t1 = self.tag(PendingOp::Fire);
@@ -978,9 +989,9 @@ impl YodaInstance {
         }
         if seg.seq.le(t.inspect_next) {
             let skip = (t.inspect_next - seg.seq) as usize;
-            if skip < seg.payload.len() {
-                t.inspect_buf.extend_from_slice(&seg.payload[skip..]);
-                t.inspect_next += (seg.payload.len() - skip) as u32;
+            if let Some(fresh) = seg.payload.get(skip..) {
+                t.inspect_buf.extend_from_slice(fresh);
+                t.inspect_next += fresh.len() as u32;
             }
         }
         let Some((req, used)) = parse_request(&t.inspect_buf) else {
@@ -988,7 +999,10 @@ impl YodaInstance {
         };
         let request_end = t.inspect_next + 0; // end of buffered data
         let request_start = SeqNum::new(request_end.raw().wrapping_sub(t.inspect_buf.len() as u32));
-        let request_bytes = Bytes::copy_from_slice(&t.inspect_buf[..used]);
+        let Some(request) = t.inspect_buf.get(..used) else {
+            return;
+        };
+        let request_bytes = Bytes::copy_from_slice(request);
         let _ = t.inspect_buf.split_to(used);
         let current = t.backend;
         let already_switching = t.switching.is_some();
@@ -1010,7 +1024,9 @@ impl YodaInstance {
         *self.per_vip_requests.entry(vip).or_insert(0) += 1;
         *self.per_vip_window.entry(vip).or_insert(0) += 1;
         let vss = Endpoint::new(vip.addr, client.port);
-        let entry = self.flows.get_mut(&key).expect("exists");
+        let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
         let Phase::Tunneling(t) = &mut entry.phase else {
             return;
         };
@@ -1056,7 +1072,9 @@ impl YodaInstance {
         synack: Segment,
     ) {
         let (client, vip) = key;
-        let entry = self.flows.get_mut(&key).expect("exists");
+        let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
         let Phase::Tunneling(t) = &mut entry.phase else {
             return;
         };
@@ -1131,7 +1149,9 @@ impl YodaInstance {
         seg: Segment,
     ) {
         let (client, vip) = key;
-        let entry = self.flows.get_mut(&key).expect("caller checked");
+        let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
         let Phase::Tunneling(t) = &mut entry.phase else {
             return;
         };
@@ -1196,7 +1216,9 @@ impl YodaInstance {
     ) {
         let (client, vip) = key;
         let vss = Endpoint::new(vip.addr, client.port);
-        let entry = self.flows.get_mut(&key).expect("caller checked");
+        let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
         let Phase::Tunneling(t) = &mut entry.phase else {
             return;
         };
@@ -1235,7 +1257,7 @@ impl YodaInstance {
         }
         // If the winner changed, rewrite the TCPStore records so recovery
         // lands on the winner.
-        if winner.is_some() {
+        if let Some((_, winner_isn)) = winner {
             let record = FlowRecord {
                 client,
                 vip,
@@ -1243,7 +1265,7 @@ impl YodaInstance {
                 client_isn,
                 // Recovery rebuilds delta as Y − server_isn; the winner's
                 // real ISN is exactly what makes that identity hold.
-                server_isn: winner.map(|(_, i)| i).expect("winner has isn"),
+                server_isn: winner_isn,
             };
             let k1 = FlowRecord::key(client, vip);
             let k2 = FlowRecord::rkey(new_backend, vss);
@@ -1302,8 +1324,24 @@ impl YodaInstance {
         if !done {
             return;
         }
-        let entry = self.recovering.remove(&rk).expect("present");
+        let Some(entry) = self.recovering.remove(&rk) else {
+            return;
+        };
         if let Some(record) = entry.flow_hit {
+            if self.flows.contains_key(&(record.client, record.vip)) {
+                // This instance already owns live state for the flow — the
+                // store record is stale relative to local memory (e.g. a
+                // mid-connection backend switch is in flight and a residual
+                // packet from the severed old backend missed the rflow
+                // table). Recovery exists for flows orphaned by a *dead*
+                // instance; installing the stale record here would clobber
+                // the live state, so drop the trigger packet instead.
+                ctx.trace_note(format!(
+                    "ignored stale recovery for {}->{} (flow is live)",
+                    record.client, record.vip
+                ));
+                return;
+            }
             self.install_recovered_flow(ctx, record);
             self.recoveries += 1;
             ctx.trace_note(format!(
@@ -1573,7 +1611,7 @@ impl YodaInstance {
             }
             InstanceCtrl::SetMuxes { muxes } => self.muxes = muxes,
             InstanceCtrl::StatsRequest { seq } => {
-                let per_vip: Vec<(Endpoint, u64)> = self.per_vip_window.drain().collect();
+                let per_vip: Vec<(Endpoint, u64)> = std::mem::take(&mut self.per_vip_window).into_iter().collect();
                 let reply = InstanceCtrl::StatsReply {
                     seq,
                     cpu_milli: (self.cpu_utilization(ctx.now()) * 1000.0) as u32,

@@ -27,6 +27,8 @@
 //!   autoscaler,
 //! * [`testbed`] — full-system assembly for experiments.
 
+#![deny(warnings)]
+
 #![forbid(unsafe_code)]
 
 pub mod controller;

@@ -22,10 +22,10 @@
 //! name=r-ck   priority=0 match cookie=session action=sticky session 10.1.0.2:80 10.1.0.3:80
 //! ```
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use rand::Rng;
+use yoda_netsim::rng::Rng;
 use yoda_http::HttpRequest;
 use yoda_netsim::{Addr, Endpoint};
 
@@ -316,9 +316,9 @@ impl fmt::Display for Rule {
 #[derive(Debug, Default)]
 pub struct SelectCtx {
     /// Backends currently considered down.
-    pub dead: HashSet<Endpoint>,
+    pub dead: BTreeSet<Endpoint>,
     /// Open-connection counts per backend (least-loaded policy).
-    pub loads: HashMap<Endpoint, i64>,
+    pub loads: BTreeMap<Endpoint, i64>,
 }
 
 /// A per-VIP rule table.
@@ -330,7 +330,7 @@ pub struct SelectCtx {
 pub struct RuleTable {
     rules: Vec<Rule>,
     /// Sticky cookie table: cookie value → backend.
-    sticky: HashMap<String, Endpoint>,
+    sticky: BTreeMap<String, Endpoint>,
 }
 
 impl RuleTable {
@@ -403,21 +403,21 @@ impl RuleTable {
     /// Selects a backend for `req`: linear scan in priority order; a
     /// matching rule whose backends are all dead is skipped (this is what
     /// makes primary-backup work). Returns `None` when nothing matches.
-    pub fn select<R: Rng + ?Sized>(
+    pub fn select(
         &mut self,
         req: &HttpRequest,
         ctx: &SelectCtx,
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> Option<Endpoint> {
         self.select_full(req, ctx, rng).map(|s| s.primary)
     }
 
     /// Full selection including mirror targets (§5.2).
-    pub fn select_full<R: Rng + ?Sized>(
+    pub fn select_full(
         &mut self,
         req: &HttpRequest,
         ctx: &SelectCtx,
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> Option<Selection> {
         for i in 0..self.rules.len() {
             if !self.rules[i].matcher.matches(req) {
@@ -448,12 +448,12 @@ impl RuleTable {
         None
     }
 
-    fn apply<R: Rng + ?Sized>(
+    fn apply(
         &mut self,
         action: &Action,
         req: &HttpRequest,
         ctx: &SelectCtx,
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> Option<Endpoint> {
         match action {
             Action::Split(ws) => {
@@ -475,7 +475,7 @@ impl RuleTable {
                 if total <= 0.0 {
                     return None;
                 }
-                let mut roll = rng.gen::<f64>() * total;
+                let mut roll = rng.gen_f64() * total;
                 for (b, w) in &live {
                     roll -= w;
                     if roll <= 0.0 {
@@ -520,8 +520,6 @@ impl RuleTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn ep(d: u8) -> Endpoint {
         Endpoint::new(Addr::new(10, 1, 0, d), 80)
@@ -567,8 +565,8 @@ mod tests {
         )
         .unwrap()]);
         let ctx = SelectCtx::default();
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut counts = HashMap::new();
+        let mut rng = Rng::seed_from_u64(1);
+        let mut counts = BTreeMap::new();
         for _ in 0..4000 {
             let pick = table.select(&req("/a.jpg"), &ctx, &mut rng).unwrap();
             *counts.entry(pick).or_insert(0) += 1;
@@ -587,7 +585,7 @@ mod tests {
         )
         .unwrap();
         let ctx = SelectCtx::default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert_eq!(table.select(&req("/a.css"), &ctx, &mut rng), Some(ep(2)));
     }
 
@@ -600,7 +598,7 @@ mod tests {
         )
         .unwrap();
         let mut ctx = SelectCtx::default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert_eq!(table.select(&req("/a.css"), &ctx, &mut rng), Some(ep(1)));
         // Primary dies: scan falls through to the backup rule.
         ctx.dead.insert(ep(1));
@@ -618,7 +616,7 @@ mod tests {
         ctx.loads.insert(ep(2), 10);
         ctx.loads.insert(ep(3), 2);
         ctx.loads.insert(ep(4), 5);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert_eq!(table.select(&req("/x"), &ctx, &mut rng), Some(ep(3)));
         ctx.dead.insert(ep(3));
         assert_eq!(table.select(&req("/x"), &ctx, &mut rng), Some(ep(4)));
@@ -633,7 +631,7 @@ mod tests {
         let mut ctx = SelectCtx::default();
         ctx.loads.insert(ep(2), 9);
         ctx.loads.insert(ep(3), 1);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert_eq!(table.select(&req("/x"), &ctx, &mut rng), Some(ep(3)));
     }
 
@@ -644,7 +642,7 @@ mod tests {
         )
         .unwrap()]);
         let ctx = SelectCtx::default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let r1 = HttpRequest::get("/a").with_header("Cookie", "session=alice");
         let first = table.select(&r1, &ctx, &mut rng).unwrap();
         for _ in 0..10 {
@@ -663,7 +661,7 @@ mod tests {
         )
         .unwrap()]);
         let mut ctx = SelectCtx::default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let r = HttpRequest::get("/a").with_header("Cookie", "session=bob");
         let first = table.select(&r, &ctx, &mut rng).unwrap();
         ctx.dead.insert(first);

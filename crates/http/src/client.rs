@@ -14,7 +14,6 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::BytesMut;
-use rand::Rng;
 use yoda_netsim::{Addr, Ctx, Endpoint, Histogram, Node, Packet, SimTime, TimerToken};
 use yoda_tcp::{ConnId, TcpConfig, TcpEvent, TcpStack};
 

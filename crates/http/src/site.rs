@@ -12,9 +12,7 @@
 
 use std::collections::HashMap;
 
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use yoda_netsim::rng::{Distribution, Rng};
 
 /// Identifies an object within a catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,7 +101,7 @@ pub const MAX_OBJECT_BYTES: usize = 442 * 1024;
 impl SiteCatalog {
     /// Synthesizes a catalog of sites, deterministically from `seed`.
     pub fn generate(seed: u64, configs: &[SiteConfig]) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut sites = Vec::with_capacity(configs.len());
         let mut by_path = HashMap::new();
         // Log-normal with median 46 KB: exp(N(ln 46K, sigma)). sigma chosen
@@ -205,9 +203,9 @@ impl SiteCatalog {
 }
 
 /// Standard normal via Box-Muller (avoids pulling in rand_distr).
-fn sample_normal(rng: &mut StdRng) -> f64 {
+fn sample_normal(rng: &mut Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen();
+    let u2: f64 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -237,8 +235,8 @@ impl ZipfIndex {
 }
 
 impl Distribution<usize> for ZipfIndex {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
@@ -312,7 +310,7 @@ mod tests {
     #[test]
     fn zipf_skews_to_head() {
         let z = ZipfIndex::new(100, 1.2);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut head = 0;
         const N: usize = 10_000;
         for _ in 0..N {

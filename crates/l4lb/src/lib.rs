@@ -18,6 +18,8 @@
 //! constraint exists precisely because of this, and the Figure 16(d)
 //! experiment measures it.
 
+#![deny(warnings)]
+
 #![forbid(unsafe_code)]
 
 pub mod ctrl;
@@ -106,7 +108,7 @@ mod tests {
     #[test]
     fn rendezvous_balances() {
         let cands: Vec<Addr> = (1..=4).map(|i| Addr::new(10, 0, 9, i)).collect();
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for port in 1000..5000u16 {
             let pick = rendezvous_pick(ep(1, port), ep(2, 80), &cands).unwrap();
             *counts.entry(pick).or_insert(0usize) += 1;

@@ -13,7 +13,7 @@
 //! instance. This is how Yoda instances "use the VIP in interacting with
 //! both the client and the server" (front-and-back indirection, §3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use yoda_netsim::{Addr, Ctx, Endpoint, Node, Packet, TimerToken, PROTO_CTRL, PROTO_IPIP};
 
@@ -32,8 +32,8 @@ struct VipEntry {
 /// One L4 mux node.
 pub struct Mux {
     addr: Addr,
-    vips: HashMap<Addr, VipEntry>,
-    flows: HashMap<FlowKey, Addr>,
+    vips: BTreeMap<Addr, VipEntry>,
+    flows: BTreeMap<FlowKey, Addr>,
     /// Packets forwarded toward instances.
     pub forwarded: u64,
     /// Flows whose instance disappeared and were re-steered.
@@ -49,8 +49,8 @@ impl Mux {
     pub fn new(addr: Addr) -> Self {
         Mux {
             addr,
-            vips: HashMap::new(),
-            flows: HashMap::new(),
+            vips: BTreeMap::new(),
+            flows: BTreeMap::new(),
             forwarded: 0,
             resteered: 0,
             dropped: 0,

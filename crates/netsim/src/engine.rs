@@ -9,18 +9,17 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+// BTreeMap/BTreeSet (not Hash*): iteration order must be seed-stable, never
+// ASLR-dependent — enforced by yoda-tidy's determinism rule.
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use crate::addr::Addr;
 use crate::node::{Node, TimerId, TimerToken};
 use crate::packet::Packet;
+use crate::rng::Rng;
 use crate::time::SimTime;
 use crate::topology::{Topology, Zone};
 use crate::trace::{TraceEvent, TraceKind, TraceSink};
-
 /// Index of a node within the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
@@ -75,14 +74,29 @@ pub(crate) struct EngineCore {
     seq: u64,
     events: BinaryHeap<Reverse<Event>>,
     meta: Vec<NodeMeta>,
-    addr_map: HashMap<Addr, NodeId>,
-    rng: StdRng,
+    addr_map: BTreeMap<Addr, NodeId>,
+    rng: Rng,
     topology: Topology,
     trace: TraceSink,
-    cancelled_timers: HashSet<u64>,
+    cancelled_timers: BTreeSet<u64>,
     next_timer_id: u64,
     packets_sent: u64,
     packets_dropped: u64,
+    /// FNV-1a digest folded over every processed event; two runs with the
+    /// same seed and scenario must end with identical digests.
+    digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[inline]
+fn fnv_fold(digest: u64, word: u64) -> u64 {
+    let mut d = digest;
+    for byte in word.to_le_bytes() {
+        d = (d ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+    d
 }
 
 impl EngineCore {
@@ -158,7 +172,7 @@ impl Ctx<'_> {
     }
 
     /// The engine's deterministic RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.core.rng
     }
 
@@ -249,14 +263,15 @@ impl Engine {
                 seq: 0,
                 events: BinaryHeap::new(),
                 meta: Vec::new(),
-                addr_map: HashMap::new(),
-                rng: StdRng::seed_from_u64(seed),
+                addr_map: BTreeMap::new(),
+                rng: Rng::seed_from_u64(seed),
                 topology,
                 trace: TraceSink::disabled(),
-                cancelled_timers: HashSet::new(),
+                cancelled_timers: BTreeSet::new(),
                 next_timer_id: 0,
                 packets_sent: 0,
                 packets_dropped: 0,
+                digest: FNV_OFFSET,
             },
             nodes: Vec::new(),
         }
@@ -285,6 +300,16 @@ impl Engine {
     /// Total packets dropped (dead node, unknown address, or link loss).
     pub fn packets_dropped(&self) -> u64 {
         self.core.packets_dropped
+    }
+
+    /// Digest of every event processed so far (time, kind, and target).
+    ///
+    /// Two engines driven by the same seed and scenario script must report
+    /// the same digest after the same amount of simulated time; the
+    /// `determinism` integration test asserts exactly that, and yoda-tidy's
+    /// static rules exist to keep it true.
+    pub fn event_digest(&self) -> u64 {
+        self.core.digest
     }
 
     /// Mutable access to the topology (e.g. to degrade a link mid-run).
@@ -476,6 +501,13 @@ impl Engine {
         };
         debug_assert!(ev.time >= self.core.time, "time went backwards");
         self.core.time = ev.time;
+        let kind_tag = match &ev.kind {
+            EventKind::Packet(pkt) => 1u64 ^ (pkt.dst.addr.as_u32() as u64) << 8,
+            EventKind::Timer { id, .. } => 2u64 ^ (*id << 8),
+            EventKind::Control(_) => 3u64,
+        };
+        self.core.digest = fnv_fold(self.core.digest, ev.time.as_micros());
+        self.core.digest = fnv_fold(self.core.digest, kind_tag);
         match ev.kind {
             EventKind::Packet(pkt) => {
                 let id = match self.core.addr_map.get(&pkt.dst.addr) {

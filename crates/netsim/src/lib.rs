@@ -36,6 +36,8 @@
 //! engine.run_for(SimTime::from_secs(1));
 //! ```
 
+#![deny(warnings)]
+
 #![forbid(unsafe_code)]
 
 pub mod addr;
@@ -43,6 +45,7 @@ pub mod engine;
 pub mod hash;
 pub mod node;
 pub mod packet;
+pub mod rng;
 pub mod service;
 pub mod stats;
 pub mod time;
@@ -50,6 +53,7 @@ pub mod topology;
 pub mod trace;
 
 pub use addr::{Addr, Endpoint};
+pub use rng::Rng;
 pub use engine::{Ctx, Engine, NodeId};
 pub use node::{Node, TimerId, TimerToken};
 pub use packet::{Packet, Protocol, PROTO_CTRL, PROTO_IPIP, PROTO_PING, PROTO_RPC, PROTO_TCP};

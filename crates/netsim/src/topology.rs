@@ -10,8 +10,7 @@
 //! reaching a Windows Azure datacenter over a WAN path with ~133 ms
 //! baseline request latency, and sub-millisecond paths inside the DC.
 
-use rand::Rng;
-
+use crate::rng::Rng;
 use crate::time::SimTime;
 
 /// Placement of a node, selecting which links its traffic traverses.
@@ -139,16 +138,16 @@ impl Topology {
     /// `now` from `from` to `to`, advancing the link's queue occupancy.
     ///
     /// Returns `None` if the packet is lost.
-    pub fn delivery_time<R: Rng>(
+    pub fn delivery_time(
         &mut self,
         now: SimTime,
         from: Zone,
         to: Zone,
         wire_len: usize,
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> Option<SimTime> {
         let spec = self.links[from.index()][to.index()];
-        if spec.loss > 0.0 && rng.gen::<f64>() < spec.loss {
+        if spec.loss > 0.0 && rng.gen_f64() < spec.loss {
             return None;
         }
         let jitter = if spec.jitter > SimTime::ZERO {
@@ -173,13 +172,11 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_latency_applies() {
         let mut topo = Topology::uniform(SimTime::from_millis(10));
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let t = topo
             .delivery_time(SimTime::ZERO, Zone::Dc, Zone::Dc, 100, &mut rng)
             .unwrap();
@@ -205,7 +202,7 @@ mod tests {
                 loss: 0.0,
             },
         );
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let t1 = topo
             .delivery_time(SimTime::ZERO, Zone::Dc, Zone::Dc, 1000, &mut rng)
             .unwrap();
@@ -230,7 +227,7 @@ mod tests {
                 loss: 1.0,
             },
         );
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert!(topo
             .delivery_time(SimTime::ZERO, Zone::Dc, Zone::Dc, 100, &mut rng)
             .is_none());
@@ -239,7 +236,7 @@ mod tests {
     #[test]
     fn jitter_within_bounds() {
         let mut topo = Topology::azure_testbed();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let base = topo.link(Zone::External, Zone::Dc).latency;
         let jit = topo.link(Zone::External, Zone::Dc).jitter;
         for _ in 0..100 {

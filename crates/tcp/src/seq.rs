@@ -38,9 +38,13 @@ impl SeqNum {
     }
 
     /// Modular "less than": true when `self` is before `other` on the
-    /// sequence circle (distance < 2³¹).
+    /// sequence circle (forward distance in (0, 2³¹)). Numbers exactly
+    /// 2³¹ apart are unordered (RFC 1982's undefined case): comparing
+    /// them is false in *both* directions, keeping `lt` asymmetric
+    /// instead of claiming each precedes the other.
     pub fn lt(self, other: SeqNum) -> bool {
-        (self.0.wrapping_sub(other.0) as i32) < 0
+        let forward = other.0.wrapping_sub(self.0);
+        forward != 0 && forward < 1 << 31
     }
 
     /// Modular "less than or equal".

@@ -418,7 +418,12 @@ impl TcpSocket {
         }
         let off = (self.snd_una - self.data_base) as usize;
         let len = inflight.min(self.cfg.mss);
-        let chunk = Bytes::copy_from_slice(&self.unacked[off..off + len]);
+        let Some(window) = self.unacked.get(off..off + len) else {
+            // Accounting drift between snd_una and the buffer; nothing
+            // sane to retransmit, recover via ACK clocking instead.
+            return Vec::new();
+        };
+        let chunk = Bytes::copy_from_slice(window);
         vec![self.make_segment(self.snd_una, Flags::ACK, chunk)]
     }
 
@@ -455,7 +460,10 @@ impl TcpSocket {
             if len == 0 {
                 break;
             }
-            let chunk = Bytes::copy_from_slice(&self.unacked[sent_off..sent_off + len]);
+            let Some(window) = self.unacked.get(sent_off..sent_off + len) else {
+                break;
+            };
+            let chunk = Bytes::copy_from_slice(window);
             let mut flags = Flags::ACK;
             flags.psh = sent_off + len == self.unacked.len();
             let seg = self.make_segment(self.snd_nxt, flags, chunk);
@@ -633,21 +641,21 @@ impl TcpSocket {
     fn update_rto(&mut self, sample: SimTime) {
         // Jacobson/Karels (RFC 6298) in microsecond integers.
         let s = sample.as_micros() as i64;
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(sample);
                 self.rttvar = SimTime::from_micros((s / 2) as u64);
+                sample
             }
             Some(srtt) => {
                 let srtt_us = srtt.as_micros() as i64;
                 let err = (s - srtt_us).abs();
                 let rttvar_us = (self.rttvar.as_micros() as i64 * 3 + err) / 4;
-                let new_srtt = (srtt_us * 7 + s) / 8;
-                self.srtt = Some(SimTime::from_micros(new_srtt as u64));
                 self.rttvar = SimTime::from_micros(rttvar_us as u64);
+                SimTime::from_micros(((srtt_us * 7 + s) / 8) as u64)
             }
-        }
-        let rto_us = self.srtt.expect("just set").as_micros() + 4 * self.rttvar.as_micros();
+        };
+        self.srtt = Some(srtt);
+        let rto_us = srtt.as_micros() + 4 * self.rttvar.as_micros();
         self.rto = SimTime::from_micros(
             rto_us.clamp(self.cfg.min_rto.as_micros(), self.cfg.max_rto.as_micros()),
         );
@@ -695,12 +703,13 @@ impl TcpSocket {
     }
 
     fn drain_out_of_order(&mut self) {
-        while let Some((&seq_raw, _)) = self.out_of_order.first_key_value() {
+        while let Some((seq_raw, payload)) = self.out_of_order.pop_first() {
             let seq = SeqNum::new(seq_raw);
             if self.rcv_nxt.lt(seq) {
+                // Still a gap before this chunk: put it back and stop.
+                self.out_of_order.insert(seq_raw, payload);
                 break;
             }
-            let (_, payload) = self.out_of_order.pop_first().expect("non-empty");
             if seq.le(self.rcv_nxt) {
                 let skip = (self.rcv_nxt - seq) as usize;
                 if skip < payload.len() {

@@ -5,10 +5,9 @@
 //! arrival. The stack handles demultiplexing by flow, listener sockets,
 //! timer (re)arming against the simulator clock, and ISN generation.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 
-use rand::Rng;
 use yoda_netsim::{Ctx, Endpoint, Packet, SimTime, TimerToken};
 
 use crate::segment::{Flags, Segment};
@@ -72,8 +71,8 @@ struct ConnSlot {
 pub struct TcpStack {
     cfg: TcpConfig,
     rst_unknown: bool,
-    conns: HashMap<ConnId, ConnSlot>,
-    by_flow: HashMap<(Endpoint, Endpoint), ConnId>,
+    conns: BTreeMap<ConnId, ConnSlot>,
+    by_flow: BTreeMap<(Endpoint, Endpoint), ConnId>,
     listeners: Vec<Endpoint>,
     next_id: u64,
     next_ephemeral: u16,
@@ -85,8 +84,8 @@ impl TcpStack {
         TcpStack {
             cfg,
             rst_unknown: true,
-            conns: HashMap::new(),
-            by_flow: HashMap::new(),
+            conns: BTreeMap::new(),
+            by_flow: BTreeMap::new(),
             listeners: Vec::new(),
             next_id: 1,
             next_ephemeral: 33000,
@@ -132,7 +131,7 @@ impl TcpStack {
     /// Opens a connection from `local` to `remote`, sending the SYN.
     /// The ISN is drawn from the simulation RNG.
     pub fn connect(&mut self, ctx: &mut Ctx<'_>, local: Endpoint, remote: Endpoint) -> ConnId {
-        let iss = SeqNum::new(ctx.rng().gen());
+        let iss = SeqNum::new(ctx.rng().next_u32());
         self.connect_with_isn(ctx, local, remote, iss)
     }
 
@@ -231,7 +230,7 @@ impl TcpStack {
             Entry::Vacant(_) => {
                 // New flow: maybe a listener accepts it.
                 if seg.flags.syn && !seg.flags.ack && self.listeners.contains(&pkt.dst) {
-                    let iss = SeqNum::new(ctx.rng().gen());
+                    let iss = SeqNum::new(ctx.rng().next_u32());
                     if let Some((sock, synack)) =
                         TcpSocket::accept(self.cfg, pkt.dst, pkt.src, &seg, iss, now)
                     {

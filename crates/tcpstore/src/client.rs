@@ -15,7 +15,7 @@
 //! with whatever succeeded, matching the paper's choice not to block flows
 //! on a failed Memcached instance.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use yoda_netsim::{Ctx, Endpoint, Histogram, Packet, SimTime, TimerToken};
@@ -99,7 +99,7 @@ pub struct StoreClient {
     cfg: StoreClientConfig,
     ring: HashRing,
     local: Endpoint,
-    pending: HashMap<u64, PendingOp>,
+    pending: BTreeMap<u64, PendingOp>,
     next_req: u64,
     /// Latency histograms per op kind (ms), for the Figure 10 experiment.
     pub get_latency: Histogram,
@@ -119,7 +119,7 @@ impl StoreClient {
             cfg,
             ring,
             local,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_req: 1,
             get_latency: Histogram::new(),
             set_latency: Histogram::new(),

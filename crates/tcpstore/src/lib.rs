@@ -19,6 +19,8 @@
 //! ("flows finish quicker than the replication latency", §6); reads simply
 //! fall back to the surviving replicas.
 
+#![deny(warnings)]
+
 #![forbid(unsafe_code)]
 
 pub mod client;

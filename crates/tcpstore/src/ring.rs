@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn load_roughly_balanced() {
         let ring = HashRing::new(&servers(10), 128);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         const N: usize = 20_000;
         for i in 0..N {
             let key = format!("flow:{i}");

@@ -5,7 +5,7 @@
 //! measured with the same windowed [`ServiceQueue`] model used everywhere,
 //! which is what the Figure 11 CPU-utilisation experiment reads.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use yoda_netsim::{Ctx, Endpoint, Node, Packet, ServiceQueue, SimTime, TimerToken, PROTO_RPC};
@@ -41,7 +41,7 @@ impl Default for StoreServerConfig {
 pub struct StoreServer {
     cfg: StoreServerConfig,
     addr: yoda_netsim::Addr,
-    data: HashMap<Bytes, Bytes>,
+    data: BTreeMap<Bytes, Bytes>,
     cpu: ServiceQueue,
     /// Total `get` operations served.
     pub gets: u64,
@@ -59,7 +59,7 @@ impl StoreServer {
         StoreServer {
             cfg,
             addr,
-            data: HashMap::new(),
+            data: BTreeMap::new(),
             cpu: ServiceQueue::new(cfg.cores),
             gets: 0,
             sets: 0,
@@ -154,8 +154,6 @@ impl Node for StoreServer {
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
 }
 
-// `rand::Rng` is used through Ctx's StdRng.
-use rand::Rng;
 
 #[cfg(test)]
 mod tests {
@@ -223,7 +221,7 @@ mod tests {
         eng.run_for(SimTime::from_millis(100));
         let d = eng.node_ref::<Driver>(driver_id);
         assert_eq!(d.responses.len(), 4);
-        let by_id: HashMap<u64, &StoreResponse> =
+        let by_id: BTreeMap<u64, &StoreResponse> =
             d.responses.iter().map(|r| (r.req_id, r)).collect();
         assert_eq!(by_id[&1].status, StoreStatus::Ok);
         assert_eq!(by_id[&2].status, StoreStatus::Ok);

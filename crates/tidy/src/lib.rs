@@ -1,0 +1,594 @@
+//! `yoda-tidy`: the in-tree static-analysis pass.
+//!
+//! Modeled on rustc's `tidy` tool: a zero-dependency scanner that walks
+//! the whole workspace and enforces project invariants as machine-checked
+//! rules. It runs two ways — `cargo run -p yoda-tidy` for humans/CI, and
+//! as a `#[test]` (see `tests/gate.rs`) so `cargo test -q` fails on any
+//! new violation.
+//!
+//! # Rule families
+//!
+//! * **determinism** — simulation results must be a pure function of the
+//!   seed. Wall-clock reads (`Instant::now`, `SystemTime`), environment
+//!   reads, ambient RNGs (`thread_rng`), the registry `rand` crate, and
+//!   `HashMap`/`HashSet` in simulation crates (iteration order is
+//!   ASLR-dependent) are forbidden. Use `SimTime`, an explicit seed,
+//!   `yoda_netsim::rng::Rng`, and `BTreeMap`/`BTreeSet`.
+//! * **panic-safety** — packet hot paths (`netsim::engine`,
+//!   `tcp::socket`, `core::instance`, `l4lb::mux`) must not
+//!   `unwrap`/`expect`/`panic!` or index slices; a malformed packet must
+//!   be dropped, not crash the process.
+//! * **seq-hygiene** — sequence-number arithmetic must go through
+//!   `SeqNum`'s wrapping helpers; raw `+`/`-` on `.raw()` values or `as
+//!   u32` casts into sequence space bypass the 2³² wrap handling.
+//! * **workspace-hygiene** — every crate denies warnings, library code
+//!   has no debug prints, TODOs carry an issue tag, and every manifest
+//!   dependency is an in-tree `path` dependency (hermetic, no-network
+//!   build).
+//!
+//! # Allowlist
+//!
+//! Justified exceptions live in `tidy.allow` at the repository root, one
+//! per line: `rule | path | needle | justification`. An entry silences
+//! violations of `rule` in `path` whose source line contains `needle`.
+//! Entries must carry a justification and must match something — a stale
+//! entry is itself an error, so the allowlist can only shrink unless a
+//! human deliberately grows it.
+
+#![deny(warnings)]
+
+pub mod lexer;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, LexedLine};
+
+/// Crates whose event handling feeds the deterministic simulation; map
+/// iteration order inside them can leak into event scheduling.
+const SIM_CRATES: &[&str] = &[
+    "crates/netsim/src/",
+    "crates/tcp/src/",
+    "crates/core/src/",
+    "crates/tcpstore/src/",
+    "crates/l4lb/src/",
+];
+
+/// Per-packet hot paths where a panic means dropping the whole data plane
+/// rather than one malformed packet.
+const HOT_PATHS: &[&str] = &[
+    "crates/netsim/src/engine.rs",
+    "crates/tcp/src/socket.rs",
+    "crates/core/src/instance.rs",
+    "crates/l4lb/src/mux.rs",
+];
+
+/// The measurement harness: the one place allowed to read wall clocks,
+/// process args, and print (it measures the host, not the simulation).
+const HARNESS_PREFIX: &str = "crates/bench/";
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier, e.g. `determinism-hash-collections`.
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line.
+    pub content: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.content
+        )
+    }
+}
+
+/// Outcome of a tidy run: surviving violations plus allowlist problems.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by `tidy.allow`.
+    pub violations: Vec<Violation>,
+    /// Problems with the allowlist itself (stale entries, missing
+    /// justifications, unparsable lines).
+    pub allowlist_errors: Vec<String>,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.allowlist_errors.is_empty()
+    }
+}
+
+/// Locates the workspace root from the tidy crate's own manifest dir.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("tidy crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Report {
+    let mut violations = Vec::new();
+
+    for path in rust_files(root) {
+        let rel = rel_path(root, &path);
+        let Ok(source) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let lines = lex(&source);
+        check_determinism(&rel, &lines, &mut violations);
+        check_panic_safety(&rel, &lines, &mut violations);
+        check_seq_hygiene(&rel, &lines, &mut violations);
+        check_debug_prints(&rel, &lines, &mut violations);
+        check_todo_tags(&rel, &lines, &mut violations);
+        check_deny_warnings(&rel, &lines, &mut violations);
+    }
+    for path in manifest_files(root) {
+        let rel = rel_path(root, &path);
+        let Ok(source) = fs::read_to_string(&path) else {
+            continue;
+        };
+        check_hermetic_manifest(&rel, &source, &mut violations);
+    }
+
+    // Deterministic output order regardless of filesystem enumeration; a
+    // line matching one rule several ways is still one violation.
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    violations.dedup();
+
+    let (allowed, allowlist_errors) = load_allowlist(root);
+    let mut used = vec![false; allowed.len()];
+    let surviving: Vec<Violation> = violations
+        .into_iter()
+        .filter(|v| {
+            let mut hit = false;
+            for (i, e) in allowed.iter().enumerate() {
+                if e.rule == v.rule && e.path == v.path && v.content.contains(&e.needle) {
+                    used[i] = true;
+                    hit = true;
+                }
+            }
+            !hit
+        })
+        .collect();
+
+    let mut errors = allowlist_errors;
+    for (i, e) in allowed.iter().enumerate() {
+        if !used[i] {
+            errors.push(format!(
+                "tidy.allow:{}: stale entry (no current violation matches): {} | {} | {}",
+                e.line_no, e.rule, e.path, e.needle
+            ));
+        }
+    }
+
+    Report {
+        violations: surviving,
+        allowlist_errors: errors,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// determinism-*: no wall clock, env reads, ambient RNG, registry rand, or
+/// hash-order collections in simulation code.
+fn check_determinism(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>) {
+    let in_harness = rel.starts_with(HARNESS_PREFIX);
+    let in_sim_crate = SIM_CRATES.iter().any(|p| rel.starts_with(p));
+    for l in lines {
+        if !in_harness {
+            for pat in ["Instant::now", "SystemTime", "UNIX_EPOCH"] {
+                if l.code.contains(pat) {
+                    push(out, "determinism-wall-clock", rel, l);
+                }
+            }
+            for pat in ["std::env::", "env::var(", "env::args(", "env::vars("] {
+                if l.code.contains(pat) {
+                    push(out, "determinism-env-read", rel, l);
+                }
+            }
+        }
+        for pat in ["thread_rng", "from_entropy", "rand::", "use rand"] {
+            if l.code.contains(pat) {
+                push(out, "determinism-ambient-rng", rel, l);
+            }
+        }
+        if in_sim_crate && (l.code.contains("HashMap") || l.code.contains("HashSet")) {
+            push(out, "determinism-hash-collections", rel, l);
+        }
+    }
+}
+
+/// panic-hotpath: no unwrap/expect/panic/indexing on per-packet paths.
+fn check_panic_safety(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>) {
+    if !HOT_PATHS.contains(&rel) {
+        return;
+    }
+    for l in lines {
+        if l.in_test {
+            continue;
+        }
+        for pat in [
+            ".unwrap()",
+            ".expect(",
+            "panic!(",
+            "unreachable!(",
+            "todo!(",
+            "unimplemented!(",
+        ] {
+            if l.code.contains(pat) {
+                push(out, "panic-hotpath", rel, l);
+            }
+        }
+        if has_index_expr(&l.code) {
+            push(out, "panic-hotpath-index", rel, l);
+        }
+    }
+}
+
+/// Detects `expr[...]` indexing: a `[` immediately preceded by an
+/// identifier character or a closing bracket. Attributes (`#[...]`),
+/// array types (`[u8; 4]`), and slice patterns are not matched.
+fn has_index_expr(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
+            return true;
+        }
+    }
+    false
+}
+
+/// seq-hygiene: sequence-space arithmetic must use the wrapping helpers.
+fn check_seq_hygiene(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>) {
+    // Library code only: test files deliberately poke raw boundary values
+    // to pin the wrapping helpers down.
+    if !(rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/"))) {
+        return;
+    }
+    let seq_files = rel == "crates/tcp/src/seq.rs" || rel == "crates/core/src/isn.rs";
+    let uses_seqnum = seq_files || lines.iter().any(|l| l.code.contains("SeqNum"));
+    if !uses_seqnum {
+        return;
+    }
+    for l in lines {
+        if l.code.contains("wrapping_") {
+            continue;
+        }
+        let arith = has_raw_arith(&l.code);
+        // `.raw()` back into arithmetic bypasses SeqNum's wrapping ops.
+        if l.code.contains(".raw()") && arith {
+            push(out, "seq-hygiene", rel, l);
+        }
+        // Casting into sequence space outside the helpers. Length casts
+        // (`payload.len() as u32`) are exempt: adding a length to a
+        // `SeqNum` goes through its wrapping `Add` impl by construction.
+        if l.code.contains("as u32") && mentions_seq(&l.code) && !l.code.contains(".len()") {
+            push(out, "seq-hygiene", rel, l);
+        }
+    }
+}
+
+/// True when the line contains a `+`/`-` that looks like arithmetic
+/// (ignores `->`, `+=`-style is still arithmetic and matches).
+fn has_raw_arith(code: &str) -> bool {
+    let cleaned = code.replace("->", "  ");
+    cleaned.contains('+') || cleaned.contains('-')
+}
+
+/// True when the line plausibly talks about sequence numbers.
+fn mentions_seq(code: &str) -> bool {
+    let lower = code.to_lowercase();
+    lower.contains("seq") || lower.contains("isn")
+}
+
+/// no-debug-print: library code must not print; use the trace sink.
+fn check_debug_prints(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>) {
+    let is_lib_code = rel.starts_with("crates/") && rel.contains("/src/")
+        || rel.starts_with("src/");
+    let exempt = rel.starts_with(HARNESS_PREFIX)
+        || rel.starts_with("crates/tidy/")
+        || rel.contains("/bin/")
+        || rel.ends_with("/main.rs");
+    if !is_lib_code || exempt {
+        return;
+    }
+    for l in lines {
+        if l.in_test {
+            continue;
+        }
+        for pat in ["println!", "eprintln!", "print!(", "eprint!(", "dbg!("] {
+            if l.code.contains(pat) {
+                push(out, "no-debug-print", rel, l);
+            }
+        }
+    }
+}
+
+/// todo-tags: TODO/FIXME/XXX/HACK must reference an issue, e.g.
+/// `TODO(#42): ...`. Scans raw lines because TODOs live in comments.
+/// The tidy crate itself is exempt — it must spell the tags to find them.
+fn check_todo_tags(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>) {
+    if rel.starts_with("crates/tidy/") {
+        return;
+    }
+    for l in lines {
+        for tag in ["TODO", "FIXME", "XXX", "HACK"] {
+            if let Some(pos) = l.raw.find(tag) {
+                // Require a word boundary before the tag (avoid e.g. a hex
+                // constant or an identifier containing the letters).
+                let boundary_ok = l
+                    .raw[..pos]
+                    .chars()
+                    .next_back()
+                    .map(|c| !c.is_alphanumeric() && c != '_')
+                    .unwrap_or(true);
+                let tagged = l.raw[pos + tag.len()..].starts_with("(#");
+                if boundary_ok && !tagged {
+                    push(out, "todo-needs-issue", rel, l);
+                }
+            }
+        }
+    }
+}
+
+/// deny-warnings: every crate root opts into `#![deny(warnings)]`.
+fn check_deny_warnings(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>) {
+    let is_crate_root = rel == "src/lib.rs"
+        || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"));
+    if !is_crate_root {
+        return;
+    }
+    if !lines.iter().any(|l| l.code.contains("#![deny(warnings)]")) {
+        out.push(Violation {
+            rule: "deny-warnings-missing",
+            path: rel.to_string(),
+            line: 1,
+            content: "crate root lacks #![deny(warnings)]".to_string(),
+        });
+    }
+}
+
+/// hermetic-manifest: all dependencies are in-tree path dependencies.
+fn check_hermetic_manifest(rel: &str, source: &str, out: &mut Vec<Violation>) {
+    let mut in_dep_section = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_dep_section = line.contains("dependencies");
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let registryish = line.contains("version =")
+            || line.contains("git =")
+            || (line.contains("= \"") && !line.contains("path"));
+        if registryish {
+            out.push(Violation {
+                rule: "hermetic-manifest",
+                path: rel.to_string(),
+                line: idx + 1,
+                content: line.to_string(),
+            });
+        }
+    }
+}
+
+fn push(out: &mut Vec<Violation>, rule: &'static str, rel: &str, l: &LexedLine) {
+    out.push(Violation {
+        rule,
+        path: rel.to_string(),
+        line: l.number,
+        content: l.raw.trim().to_string(),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+struct AllowEntry {
+    line_no: usize,
+    rule: String,
+    path: String,
+    needle: String,
+}
+
+fn load_allowlist(root: &Path) -> (Vec<AllowEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    let Ok(text) = fs::read_to_string(root.join("tidy.allow")) else {
+        return (entries, errors);
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+        if parts.len() != 4 {
+            errors.push(format!(
+                "tidy.allow:{}: expected `rule | path | needle | justification`",
+                idx + 1
+            ));
+            continue;
+        }
+        if parts[3].is_empty() {
+            errors.push(format!(
+                "tidy.allow:{}: entry has no justification",
+                idx + 1
+            ));
+            continue;
+        }
+        entries.push(AllowEntry {
+            line_no: idx + 1,
+            rule: parts[0].to_string(),
+            path: parts[1].to_string(),
+            needle: parts[2].to_string(),
+        });
+    }
+    (entries, errors)
+}
+
+// ---------------------------------------------------------------------------
+// File walking
+// ---------------------------------------------------------------------------
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// All `.rs` files under the workspace, sorted, skipping build output and
+/// VCS internals.
+fn rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    walk(root, &mut files, "rs");
+    files.sort();
+    files
+}
+
+fn manifest_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    walk(root, &mut files, "toml");
+    files.retain(|p| p.file_name().is_some_and(|n| n == "Cargo.toml"));
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>, ext: &str) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | ".claude" | "results") {
+                continue;
+            }
+            walk(&path, out, ext);
+        } else if path.extension().is_some_and(|e| e == ext) {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(src: &str) -> Vec<LexedLine> {
+        lex(src)
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_sim_crates() {
+        let src = "use std::collections::HashMap;\n";
+        let mut v = Vec::new();
+        check_determinism("crates/netsim/src/engine.rs", &lines_of(src), &mut v);
+        assert_eq!(v.len(), 1, "sim crate flagged");
+        let mut v = Vec::new();
+        check_determinism("crates/http/src/server.rs", &lines_of(src), &mut v);
+        assert!(v.is_empty(), "non-sim crate not flagged");
+    }
+
+    #[test]
+    fn wall_clock_exempt_in_harness_only() {
+        let src = "let t = Instant::now();\n";
+        let mut v = Vec::new();
+        check_determinism("crates/bench/src/lib.rs", &lines_of(src), &mut v);
+        assert!(v.is_empty());
+        let mut v = Vec::new();
+        check_determinism("crates/tcp/src/socket.rs", &lines_of(src), &mut v);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_flagged_on_hot_path_but_not_in_tests() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn g() { y.unwrap(); }\n}\n";
+        let mut v = Vec::new();
+        check_panic_safety("crates/tcp/src/socket.rs", &lines_of(src), &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn indexing_detected_but_attrs_are_not() {
+        assert!(has_index_expr("let x = buf[0];"));
+        assert!(has_index_expr("self.meta[node.0].zone"));
+        assert!(!has_index_expr("#[derive(Debug)]"));
+        assert!(!has_index_expr("let x: [u8; 4] = y;"));
+        assert!(!has_index_expr("fn f(xs: &[u8]) {}"));
+    }
+
+    #[test]
+    fn seq_hygiene_catches_raw_math() {
+        let src = "let s = x.raw() + 1;\nlet ok = a.wrapping_add(b.raw());\n";
+        let mut v = Vec::new();
+        check_seq_hygiene("crates/tcp/src/seq.rs", &lines_of(src), &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn seq_hygiene_catches_cast_into_seq_space() {
+        let src = "let isn = SeqNum::new(h as u32);\n";
+        let mut v = Vec::new();
+        check_seq_hygiene("crates/core/src/isn.rs", &lines_of(src), &mut v);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn todo_requires_issue_tag() {
+        let src = "// TODO: later\n// TODO(#12): tracked\n";
+        let mut v = Vec::new();
+        check_todo_tags("src/lib.rs", &lines_of(src), &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn manifest_rule_rejects_registry_deps() {
+        let toml = "[dependencies]\nfoo = \"1\"\nbar = { path = \"../bar\" }\nbaz = { version = \"2\" }\n\n[package]\nversion = \"0.1.0\"\n";
+        let mut v = Vec::new();
+        check_hermetic_manifest("Cargo.toml", toml, &mut v);
+        let lines: Vec<usize> = v.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![2, 4], "{v:?}");
+    }
+
+    #[test]
+    fn debug_prints_flagged_in_lib_code_only() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        let mut v = Vec::new();
+        check_debug_prints("crates/http/src/server.rs", &lines_of(src), &mut v);
+        assert_eq!(v.len(), 1);
+        let mut v = Vec::new();
+        check_debug_prints("crates/bench/src/report.rs", &lines_of(src), &mut v);
+        assert!(v.is_empty());
+        let mut v = Vec::new();
+        check_debug_prints("examples/quickstart.rs", &lines_of(src), &mut v);
+        assert!(v.is_empty());
+    }
+}

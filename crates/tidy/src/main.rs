@@ -1,0 +1,32 @@
+//! CLI entry point: `cargo run -p yoda-tidy`.
+//!
+//! Prints every violation and exits non-zero if the tree is not clean.
+
+#![deny(warnings)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = yoda_tidy::workspace_root();
+    let report = yoda_tidy::run(&root);
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for e in &report.allowlist_errors {
+        println!("{e}");
+    }
+
+    if report.is_clean() {
+        println!("tidy: workspace is clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "tidy: {} violation(s), {} allowlist error(s)",
+            report.violations.len(),
+            report.allowlist_errors.len()
+        );
+        println!("tidy: fix the code, or add a justified entry to tidy.allow");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,19 @@
+//! The tidy gate: makes `cargo test -q` fail on any tidy violation, so
+//! the invariants are enforced even where CI only runs the test suite.
+
+#[test]
+fn workspace_is_tidy() {
+    let root = yoda_tidy::workspace_root();
+    let report = yoda_tidy::run(&root);
+    if !report.is_clean() {
+        let mut msg = String::from("tidy violations:\n");
+        for v in &report.violations {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        for e in &report.allowlist_errors {
+            msg.push_str(&format!("  {e}\n"));
+        }
+        msg.push_str("fix the code, or add a justified entry to tidy.allow");
+        panic!("{msg}");
+    }
+}

@@ -1,7 +1,6 @@
 //! Trace synthesis and CSV (de)serialization.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use yoda_netsim::rng::Rng;
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -84,7 +83,7 @@ impl Trace {
     /// Panics if `num_vips` or `bins` is zero.
     pub fn generate(cfg: &TraceConfig) -> Trace {
         assert!(cfg.num_vips > 0 && cfg.bins > 0, "empty trace config");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         // Zipf volume shares.
         let weights: Vec<f64> = (1..=cfg.num_vips)
             .map(|k| 1.0 / (k as f64).powf(cfg.zipf_alpha))
@@ -121,7 +120,7 @@ impl Trace {
             for b in 0..cfg.bins {
                 let t = b as f64 / cfg.bins as f64 * std::f64::consts::TAU;
                 let diurnal = 1.0 + amplitude * (t + phase).sin();
-                let jitter = 1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0);
+                let jitter = 1.0 + noise * (rng.gen_f64() * 2.0 - 1.0);
                 let mut val = base * diurnal * jitter;
                 if flash && (b as i64 - flash_bin as i64).unsigned_abs() < flash_width {
                     val += base * flash_height;

@@ -22,6 +22,8 @@
 //! [`AssignInput`]s for the Figure 16 update
 //! study.
 
+#![deny(warnings)]
+
 #![forbid(unsafe_code)]
 
 pub mod gen;

@@ -11,8 +11,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use yoda_netsim::rng::Rng;
 use yoda::core::rules::{RuleTable, SelectCtx};
 use yoda::http::HttpRequest;
 use yoda::netsim::{Addr, Endpoint};
@@ -30,7 +29,7 @@ name=r-rest   priority=0 match *           action=leastload 10.1.0.1:80 10.1.0.2
     println!("installed {} rules:\n{}\n", table.len(), table.to_text());
 
     let mut ctx = SelectCtx::default();
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Rng::seed_from_u64(3);
 
     // 1. Weighted split: *.jpg goes 50/50 to D2/D3.
     let mut counts: HashMap<Endpoint, u32> = HashMap::new();

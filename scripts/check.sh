@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate: build, test, tidy. Exits non-zero on the first
+# failure. Run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> yoda-tidy"
+cargo run -q -p yoda-tidy
+
+echo "==> all checks passed"

@@ -13,6 +13,8 @@
 //! * [`core`] — the Yoda L7 LB itself (instances, rules, controller, scenarios)
 //! * [`proxy`] — HAProxy-style baseline L7 proxy
 
+#![deny(warnings)]
+
 pub use yoda_assign as assign;
 pub use yoda_core as core;
 pub use yoda_http as http;

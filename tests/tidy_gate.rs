@@ -1,0 +1,21 @@
+//! Workspace-level tidy gate: `cargo test -q` from the repo root must
+//! fail if any determinism/robustness invariant is violated anywhere in
+//! the tree. See `crates/tidy` for the rules and `tidy.allow` for the
+//! justified exceptions.
+
+#[test]
+fn workspace_is_tidy() {
+    let root = yoda_tidy::workspace_root();
+    let report = yoda_tidy::run(&root);
+    if !report.is_clean() {
+        let mut msg = String::from("tidy violations:\n");
+        for v in &report.violations {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        for e in &report.allowlist_errors {
+            msg.push_str(&format!("  {e}\n"));
+        }
+        msg.push_str("fix the code, or add a justified entry to tidy.allow");
+        panic!("{msg}");
+    }
+}
