@@ -1,0 +1,259 @@
+//! The pluggable [`Picker`] seam and its policy adapters.
+//!
+//! A picker sees only the [`PickInput`]: the live backend set, whatever
+//! per-backend [`Signal`]s the caller has (local open-connection counts
+//! for the static policies, probe results for the adaptive one), the sim
+//! time, and the engine's seeded RNG. All four of Yoda's selection
+//! policies — and the new Prequal-style one — implement this trait, so
+//! the rules engine has one delegation point instead of per-policy match
+//! arms.
+
+use std::collections::BTreeMap;
+
+use yoda_netsim::rng::Rng;
+use yoda_netsim::{Endpoint, SimTime};
+
+use crate::pool::ProbePool;
+
+/// What is known about one backend at selection time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Signal {
+    /// Requests in flight at the backend (probed), or the local
+    /// open-connection count (static policies).
+    pub rif: u32,
+    /// Latency estimate for a request sent now (the origin server's
+    /// service-latency EWMA, piggybacked on probe replies).
+    pub latency_est: SimTime,
+    /// When this signal was sampled.
+    pub last_probe: SimTime,
+}
+
+/// Everything a picker may consult.
+#[derive(Debug)]
+pub struct PickInput<'a> {
+    /// Live candidates, in rule order (dead backends already removed).
+    pub live: &'a [Endpoint],
+    /// Per-backend signals; backends without an entry count as idle.
+    pub signals: &'a BTreeMap<Endpoint, Signal>,
+    /// Current simulated time.
+    pub now: SimTime,
+}
+
+/// A backend-selection policy.
+pub trait Picker {
+    /// Picks one backend from `input.live`, or `None` when no candidate
+    /// is acceptable (the rule scan then falls through).
+    fn pick(&mut self, input: &PickInput<'_>, rng: &mut Rng) -> Option<Endpoint>;
+}
+
+/// Weighted-random split (the paper's weighted round-robin, §5.1).
+#[derive(Debug)]
+pub struct WeightedSplit<'a> {
+    /// `(backend, weight)` pairs; non-positive weights never match.
+    pub weights: &'a [(Endpoint, f64)],
+}
+
+impl Picker for WeightedSplit<'_> {
+    fn pick(&mut self, input: &PickInput<'_>, rng: &mut Rng) -> Option<Endpoint> {
+        let live: Vec<(Endpoint, f64)> = self
+            .weights
+            .iter()
+            .filter(|(b, w)| *w > 0.0 && input.live.contains(b))
+            .copied()
+            .collect();
+        let total: f64 = live.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut roll = rng.gen_f64() * total;
+        for (b, w) in &live {
+            roll -= w;
+            if roll <= 0.0 {
+                return Some(*b);
+            }
+        }
+        live.last().map(|(b, _)| *b)
+    }
+}
+
+/// Least-loaded selection (the paper's "weights set to (−1)" policy):
+/// minimises `Signal::rif`, which the rules engine fills from its local
+/// open-connection counts.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl Picker for LeastLoaded {
+    fn pick(&mut self, input: &PickInput<'_>, _rng: &mut Rng) -> Option<Endpoint> {
+        input
+            .live
+            .iter()
+            .min_by_key(|b| input.signals.get(b).map(|s| s.rif).unwrap_or(0))
+            .copied()
+    }
+}
+
+/// Initial placement for sticky sessions: a keyed hash over the live
+/// set. (The value→backend persistence table stays in the rules engine;
+/// this adapter only decides where a fresh session lands.)
+#[derive(Debug)]
+pub struct StickyHash {
+    /// Hash of the session key (cookie value).
+    pub key_hash: u64,
+}
+
+impl Picker for StickyHash {
+    fn pick(&mut self, input: &PickInput<'_>, _rng: &mut Rng) -> Option<Endpoint> {
+        if input.live.is_empty() {
+            return None;
+        }
+        Some(input.live[self.key_hash as usize % input.live.len()])
+    }
+}
+
+/// Prequal-style hot-cold lexicographic selection over a probe pool:
+/// drop stale entries, restrict to pool entries at or below the RIF
+/// quantile threshold ("cold"), and take the lowest latency estimate
+/// among them. When the pool holds no live entry (cold start, or a
+/// deployment that never probes, like the HAProxy baseline), fall back
+/// to a uniform-random pick so the policy degrades to random — never to
+/// a refusal.
+#[derive(Debug)]
+pub struct HotCold<'a> {
+    /// The rule's probe pool.
+    pub pool: &'a mut ProbePool,
+}
+
+impl Picker for HotCold<'_> {
+    fn pick(&mut self, input: &PickInput<'_>, rng: &mut Rng) -> Option<Endpoint> {
+        self.pool.evict_stale(input.now);
+        if let Some(b) = self.pool.pick_hot_cold(input.live) {
+            return Some(b);
+        }
+        if input.live.is_empty() {
+            return None;
+        }
+        Some(input.live[rng.gen_range(0..input.live.len() as u64) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use yoda_netsim::Addr;
+
+    fn ep(d: u8) -> Endpoint {
+        Endpoint::new(Addr::new(10, 1, 0, d), 80)
+    }
+
+    fn sig(rif: u32, lat_ms: u64) -> Signal {
+        Signal {
+            rif,
+            latency_est: SimTime::from_millis(lat_ms),
+            last_probe: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn weighted_split_respects_weights() {
+        let weights = [(ep(1), 1.0), (ep(2), 3.0)];
+        let live = [ep(1), ep(2)];
+        let signals = BTreeMap::new();
+        let input = PickInput {
+            live: &live,
+            signals: &signals,
+            now: SimTime::ZERO,
+        };
+        let mut rng = Rng::seed_from_u64(7);
+        let mut picker = WeightedSplit { weights: &weights };
+        let mut n2 = 0;
+        for _ in 0..4000 {
+            if picker.pick(&input, &mut rng) == Some(ep(2)) {
+                n2 += 1;
+            }
+        }
+        let share = n2 as f64 / 4000.0;
+        assert!((share - 0.75).abs() < 0.05, "share {share}");
+    }
+
+    #[test]
+    fn weighted_split_skips_dead_and_nonpositive() {
+        let weights = [(ep(1), 1.0), (ep(2), 0.0), (ep(3), -1.0)];
+        let live = [ep(2), ep(3)]; // ep(1) dead
+        let signals = BTreeMap::new();
+        let input = PickInput {
+            live: &live,
+            signals: &signals,
+            now: SimTime::ZERO,
+        };
+        let mut rng = Rng::seed_from_u64(7);
+        assert_eq!(WeightedSplit { weights: &weights }.pick(&input, &mut rng), None);
+    }
+
+    #[test]
+    fn least_loaded_minimises_rif() {
+        let live = [ep(1), ep(2), ep(3)];
+        let mut signals = BTreeMap::new();
+        signals.insert(ep(1), sig(5, 1));
+        signals.insert(ep(2), sig(2, 1));
+        signals.insert(ep(3), sig(9, 1));
+        let input = PickInput {
+            live: &live,
+            signals: &signals,
+            now: SimTime::ZERO,
+        };
+        let mut rng = Rng::seed_from_u64(7);
+        assert_eq!(LeastLoaded.pick(&input, &mut rng), Some(ep(2)));
+    }
+
+    #[test]
+    fn sticky_hash_is_stable() {
+        let live = [ep(1), ep(2), ep(3)];
+        let signals = BTreeMap::new();
+        let input = PickInput {
+            live: &live,
+            signals: &signals,
+            now: SimTime::ZERO,
+        };
+        let mut rng = Rng::seed_from_u64(7);
+        let mut p = StickyHash { key_hash: 12345 };
+        let first = p.pick(&input, &mut rng);
+        for _ in 0..5 {
+            assert_eq!(p.pick(&input, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn hot_cold_falls_back_to_random_on_empty_pool() {
+        let mut pool = ProbePool::new(PoolConfig::default());
+        let live = [ep(1), ep(2)];
+        let signals = BTreeMap::new();
+        let input = PickInput {
+            live: &live,
+            signals: &signals,
+            now: SimTime::ZERO,
+        };
+        let mut rng = Rng::seed_from_u64(7);
+        let pick = HotCold { pool: &mut pool }.pick(&input, &mut rng);
+        assert!(pick == Some(ep(1)) || pick == Some(ep(2)));
+    }
+
+    #[test]
+    fn hot_cold_prefers_cold_low_latency() {
+        let cfg = PoolConfig::default();
+        let mut pool = ProbePool::new(cfg);
+        // ep(1): cold but slow; ep(2): cold and fast; ep(3): hot.
+        pool.admit(ep(1), sig(0, 10));
+        pool.admit(ep(2), sig(1, 2));
+        pool.admit(ep(3), sig(50, 1));
+        let live = [ep(1), ep(2), ep(3)];
+        let signals = BTreeMap::new();
+        let input = PickInput {
+            live: &live,
+            signals: &signals,
+            now: SimTime::ZERO,
+        };
+        let mut rng = Rng::seed_from_u64(7);
+        assert_eq!(HotCold { pool: &mut pool }.pick(&input, &mut rng), Some(ep(2)));
+    }
+}

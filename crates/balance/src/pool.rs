@@ -1,0 +1,267 @@
+//! The per-rule probe pool (Prequal §4).
+//!
+//! A small bounded pool of the freshest probe results. Three eviction
+//! paths keep it honest:
+//!
+//! * **staleness** — entries older than [`PoolConfig::max_age`] are
+//!   dropped before every selection, so decisions never rest on signals
+//!   from a previous load regime;
+//! * **reuse** — an entry may justify at most [`PoolConfig::max_uses`]
+//!   selections before it is discarded (a probed RIF is invalidated by
+//!   the very requests it attracts);
+//! * **replacement** — when the pool is full, the *hottest* entry
+//!   (highest RIF, oldest on ties) makes room, keeping the pool biased
+//!   towards cold backends.
+
+use yoda_netsim::{Endpoint, SimTime};
+
+use crate::picker::Signal;
+
+/// Probe-pool tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Maximum entries held (Prequal uses a pool of 16).
+    pub capacity: usize,
+    /// Entries older than this are evicted.
+    pub max_age: SimTime,
+    /// Selections one entry may serve before eviction.
+    pub max_uses: u32,
+    /// RIF quantile separating cold from hot, in `(0, 1]` (Prequal's
+    /// Δ-quantile; 0.84 in the paper's configuration).
+    pub hot_quantile: f64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            capacity: 16,
+            max_age: SimTime::from_millis(200),
+            max_uses: 2,
+            hot_quantile: 0.84,
+        }
+    }
+}
+
+/// One pooled probe result.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolEntry {
+    /// The probed backend.
+    pub backend: Endpoint,
+    /// Its probed signal.
+    pub sig: Signal,
+    /// Selections this entry has justified so far.
+    pub uses: u32,
+}
+
+/// A bounded pool of recent probe results for one rule.
+#[derive(Debug, Clone)]
+pub struct ProbePool {
+    cfg: PoolConfig,
+    entries: Vec<PoolEntry>,
+}
+
+impl ProbePool {
+    /// An empty pool.
+    pub fn new(cfg: PoolConfig) -> Self {
+        ProbePool {
+            cfg,
+            entries: Vec::with_capacity(cfg.capacity),
+        }
+    }
+
+    /// Number of pooled entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the pool holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Read-only view of the entries (insertion order).
+    pub fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    /// Admits a fresh probe result, replacing any previous entry for the
+    /// same backend. When the pool is full, the hottest entry (highest
+    /// RIF, oldest on ties) is evicted to make room.
+    pub fn admit(&mut self, backend: Endpoint, sig: Signal) {
+        self.entries.retain(|e| e.backend != backend);
+        if self.entries.len() >= self.cfg.capacity {
+            if let Some(worst) = self
+                .entries
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| (e.sig.rif, std::cmp::Reverse(e.sig.last_probe)))
+                .map(|(i, _)| i)
+            {
+                self.entries.remove(worst);
+            }
+        }
+        self.entries.push(PoolEntry {
+            backend,
+            sig,
+            uses: 0,
+        });
+    }
+
+    /// Drops entries older than the staleness bound.
+    pub fn evict_stale(&mut self, now: SimTime) {
+        let max_age = self.cfg.max_age;
+        self.entries
+            .retain(|e| now.saturating_sub(e.sig.last_probe) <= max_age);
+    }
+
+    /// Removes every entry for `backend` (death or quarantine).
+    pub fn purge(&mut self, backend: Endpoint) {
+        self.entries.retain(|e| e.backend != backend);
+    }
+
+    /// Hot-cold lexicographic selection among entries whose backend is in
+    /// `live`: compute the RIF value at the pool's hot quantile, restrict
+    /// to entries at or below it (the cold set), and pick the lowest
+    /// latency estimate (ties: lowest RIF, then backend order). The
+    /// chosen entry's reuse counter is charged; at `max_uses` it is
+    /// evicted. Returns `None` when no live entry is pooled.
+    pub fn pick_hot_cold(&mut self, live: &[Endpoint]) -> Option<Endpoint> {
+        let candidates: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| live.contains(&e.backend))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut rifs: Vec<u32> = candidates
+            .iter()
+            .filter_map(|&i| self.entries.get(i).map(|e| e.sig.rif))
+            .collect();
+        rifs.sort_unstable();
+        let q = self.cfg.hot_quantile.clamp(0.0, 1.0);
+        let rank = ((q * (rifs.len() - 1) as f64).floor() as usize).min(rifs.len() - 1);
+        let threshold = rifs.get(rank).copied().unwrap_or(u32::MAX);
+        let chosen = candidates
+            .into_iter()
+            .filter_map(|i| self.entries.get(i).map(|e| (i, *e)))
+            .filter(|(_, e)| e.sig.rif <= threshold)
+            .min_by(|(_, a), (_, b)| {
+                (a.sig.latency_est, a.sig.rif, a.backend).cmp(&(
+                    b.sig.latency_est,
+                    b.sig.rif,
+                    b.backend,
+                ))
+            })
+            .map(|(i, _)| i)?;
+        let entry = self.entries.get_mut(chosen)?;
+        entry.uses += 1;
+        let backend = entry.backend;
+        if entry.uses >= self.cfg.max_uses {
+            self.entries.remove(chosen);
+        }
+        Some(backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yoda_netsim::Addr;
+
+    fn ep(d: u8) -> Endpoint {
+        Endpoint::new(Addr::new(10, 1, 0, d), 80)
+    }
+
+    fn sig_at(rif: u32, lat_ms: u64, at_ms: u64) -> Signal {
+        Signal {
+            rif,
+            latency_est: SimTime::from_millis(lat_ms),
+            last_probe: SimTime::from_millis(at_ms),
+        }
+    }
+
+    #[test]
+    fn admit_replaces_same_backend() {
+        let mut p = ProbePool::new(PoolConfig::default());
+        p.admit(ep(1), sig_at(3, 1, 0));
+        p.admit(ep(1), sig_at(7, 1, 5));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.entries()[0].sig.rif, 7);
+    }
+
+    #[test]
+    fn full_pool_evicts_hottest() {
+        let cfg = PoolConfig {
+            capacity: 3,
+            ..PoolConfig::default()
+        };
+        let mut p = ProbePool::new(cfg);
+        p.admit(ep(1), sig_at(1, 1, 0));
+        p.admit(ep(2), sig_at(99, 1, 0)); // hottest
+        p.admit(ep(3), sig_at(2, 1, 0));
+        p.admit(ep(4), sig_at(3, 1, 0));
+        assert_eq!(p.len(), 3);
+        assert!(p.entries().iter().all(|e| e.backend != ep(2)));
+    }
+
+    #[test]
+    fn staleness_eviction() {
+        let mut p = ProbePool::new(PoolConfig {
+            max_age: SimTime::from_millis(100),
+            ..PoolConfig::default()
+        });
+        p.admit(ep(1), sig_at(0, 1, 0));
+        p.admit(ep(2), sig_at(0, 1, 150));
+        p.evict_stale(SimTime::from_millis(200));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.entries()[0].backend, ep(2));
+    }
+
+    #[test]
+    fn reuse_eviction() {
+        let mut p = ProbePool::new(PoolConfig {
+            max_uses: 2,
+            ..PoolConfig::default()
+        });
+        p.admit(ep(1), sig_at(0, 1, 0));
+        let live = [ep(1)];
+        assert_eq!(p.pick_hot_cold(&live), Some(ep(1)));
+        assert_eq!(p.len(), 1, "first use keeps the entry");
+        assert_eq!(p.pick_hot_cold(&live), Some(ep(1)));
+        assert!(p.is_empty(), "second use exhausts it");
+        assert_eq!(p.pick_hot_cold(&live), None);
+    }
+
+    #[test]
+    fn hot_entries_avoided() {
+        let mut p = ProbePool::new(PoolConfig {
+            hot_quantile: 0.5,
+            max_uses: 100,
+            ..PoolConfig::default()
+        });
+        // Quantile 0.5 over {0, 1, 40, 50} → threshold is 1: the two hot
+        // backends must never be chosen while cold ones exist.
+        p.admit(ep(1), sig_at(40, 1, 0)); // hot, fastest latency
+        p.admit(ep(2), sig_at(0, 9, 0));
+        p.admit(ep(3), sig_at(1, 4, 0));
+        p.admit(ep(4), sig_at(50, 1, 0)); // hot
+        let live = [ep(1), ep(2), ep(3), ep(4)];
+        for _ in 0..10 {
+            let pick = p.pick_hot_cold(&live);
+            assert!(pick == Some(ep(2)) || pick == Some(ep(3)), "{pick:?}");
+        }
+    }
+
+    #[test]
+    fn pick_ignores_dead_backends() {
+        let mut p = ProbePool::new(PoolConfig::default());
+        p.admit(ep(1), sig_at(0, 1, 0));
+        p.admit(ep(2), sig_at(0, 2, 0));
+        assert_eq!(p.pick_hot_cold(&[ep(2)]), Some(ep(2)));
+        p.purge(ep(2));
+        assert_eq!(p.pick_hot_cold(&[ep(2)]), None);
+    }
+}

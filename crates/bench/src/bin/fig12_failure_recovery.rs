@@ -74,9 +74,9 @@ fn main() {
             (out.completed + out.broken).to_string(),
             pct(out.broken_fraction()),
             out.timeouts.to_string(),
-            f2(out.latencies.median()),
-            f2(out.latencies.percentile(99.0)),
-            f2(out.latencies.max()),
+            f2(out.latencies.median().unwrap_or(0.0)),
+            f2(out.latencies.percentile(99.0).unwrap_or(0.0)),
+            f2(out.latencies.max().unwrap_or(0.0)),
             out.recoveries.to_string(),
         ]);
         cdf_sets.push((name, out));

@@ -119,9 +119,9 @@ fn main() {
     for (name, s) in [("YODA-no-limit", &mut nolimit), ("YODA-limit", &mut limit)] {
         t.row(&[
             name.to_string(),
-            pct(s.rules_ratio.median()),
-            pct(s.rules_ratio.min()),
-            pct(s.rules_ratio.max()),
+            pct(s.rules_ratio.median().unwrap_or(0.0)),
+            pct(s.rules_ratio.min().unwrap_or(0.0)),
+            pct(s.rules_ratio.max().unwrap_or(0.0)),
         ]);
     }
     t.print();
@@ -130,17 +130,17 @@ fn main() {
     println!();
     println!("(c) number of instances:");
     let mut t = Table::new(&["scheme", "median", "max", "vs all-to-all (median)"]);
-    let a2a_med = a2a_instances.median();
+    let a2a_med = a2a_instances.median().unwrap_or(1.0);
     for (name, s) in [
         ("all-to-all", &mut a2a_instances),
         ("YODA-no-limit", &mut nolimit.instances),
         ("YODA-limit", &mut limit.instances),
     ] {
-        let med = s.median();
+        let med = s.median().unwrap_or(0.0);
         t.row(&[
             name.to_string(),
             f2(med),
-            f2(s.max()),
+            f2(s.max().unwrap_or(0.0)),
             format!("+{}", pct(med / a2a_med - 1.0)),
         ]);
     }
@@ -155,13 +155,13 @@ fn main() {
     let mut t = Table::new(&["scheme", "median", "max"]);
     t.row(&[
         "YODA-no-limit".to_string(),
-        pct(nolimit.overload.median()),
-        pct(nolimit.overload.max()),
+        pct(nolimit.overload.median().unwrap_or(0.0)),
+        pct(nolimit.overload.max().unwrap_or(0.0)),
     ]);
     t.row(&[
         "YODA-limit".to_string(),
-        pct(limit.overload.median()),
-        pct(limit.overload.max()),
+        pct(limit.overload.median().unwrap_or(0.0)),
+        pct(limit.overload.max().unwrap_or(0.0)),
     ]);
     t.print();
     print_kv("paper", "no-limit 0-20.4% (median 5.3%); limit ~0 (only already-overloaded)");
@@ -171,13 +171,13 @@ fn main() {
     let mut t = Table::new(&["scheme", "median", "max"]);
     t.row(&[
         "YODA-no-limit".to_string(),
-        pct(nolimit.migrated.median()),
-        pct(nolimit.migrated.max()),
+        pct(nolimit.migrated.median().unwrap_or(0.0)),
+        pct(nolimit.migrated.max().unwrap_or(0.0)),
     ]);
     t.row(&[
         "YODA-limit".to_string(),
-        pct(limit.migrated.median()),
-        pct(limit.migrated.max()),
+        pct(limit.migrated.median().unwrap_or(0.0)),
+        pct(limit.migrated.max().unwrap_or(0.0)),
     ]);
     t.print();
     print_kv("paper", "no-limit 2.7-95% (median 44.9%); limit 0-29.8% (median 8.3%)");
@@ -188,13 +188,13 @@ fn main() {
     let mut t = Table::new(&["scheme", "median (ms)", "max (ms)"]);
     t.row(&[
         "YODA-no-limit".to_string(),
-        f2(nolimit.solve_ms.median()),
-        f2(nolimit.solve_ms.max()),
+        f2(nolimit.solve_ms.median().unwrap_or(0.0)),
+        f2(nolimit.solve_ms.max().unwrap_or(0.0)),
     ]);
     t.row(&[
         "YODA-limit".to_string(),
-        f2(limit.solve_ms.median()),
-        f2(limit.solve_ms.max()),
+        f2(limit.solve_ms.median().unwrap_or(0.0)),
+        f2(limit.solve_ms.max().unwrap_or(0.0)),
     ]);
     t.print();
 }

@@ -67,7 +67,7 @@ fn main() {
             hist.record(t0.elapsed().as_nanos() as f64 / 1000.0);
             assert!(picked.is_some());
         }
-        let p90 = hist.percentile(90.0);
+        let p90 = hist.percentile(90.0).unwrap_or(0.0);
         let selection = fixed_us + p90;
         if n == 1_000 {
             sel_1k = selection;
@@ -77,7 +77,7 @@ fn main() {
         }
         table_out.row(&[
             n.to_string(),
-            f2(hist.percentile(50.0)),
+            f2(hist.percentile(50.0).unwrap_or(0.0)),
             f2(p90),
             f2(selection),
         ]);

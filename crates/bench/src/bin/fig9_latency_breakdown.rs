@@ -71,7 +71,7 @@ fn run_baseline(rate: f64, duration: SimTime) -> RunResult {
     eng.run_for(duration + SimTime::from_secs(5));
     let c = eng.node_mut::<RateClient>(client);
     RunResult {
-        median_ms: c.fetch_latencies.median(),
+        median_ms: c.fetch_latencies.median().unwrap_or(0.0),
         storage_ms: 0.0,
         connection_ms: 0.0,
     }
@@ -99,24 +99,16 @@ fn run_yoda(rate: f64, duration: SimTime) -> RunResult {
     let inst = tb.instances[0];
     let (storage_ms, connection_ms) = {
         let i = tb.engine.node_mut::<YodaInstance>(inst);
-        let conn = if i.conn_latency.is_empty() {
-            0.0
-        } else {
-            i.conn_latency.median()
-        };
+        let conn = i.conn_latency.median().unwrap_or(0.0);
         let store_client = i.store_client_mut();
-        let storage = if store_client.set_latency.is_empty() {
-            0.0
-        } else {
-            // Two sets per request (storage-a, storage-b), issued in
-            // parallel per replica: critical-path cost = 2 × median set.
-            2.0 * store_client.set_latency.median()
-        };
+        // Two sets per request (storage-a, storage-b), issued in
+        // parallel per replica: critical-path cost = 2 × median set.
+        let storage = 2.0 * store_client.set_latency.median().unwrap_or(0.0);
         (storage, conn)
     };
     let c = tb.engine.node_mut::<RateClient>(client);
     RunResult {
-        median_ms: c.fetch_latencies.median(),
+        median_ms: c.fetch_latencies.median().unwrap_or(0.0),
         storage_ms,
         connection_ms,
     }
@@ -143,7 +135,7 @@ fn run_proxy(rate: f64, duration: SimTime) -> RunResult {
     tb.engine.run_for(duration + SimTime::from_secs(5));
     let c = tb.engine.node_mut::<RateClient>(client);
     RunResult {
-        median_ms: c.fetch_latencies.median(),
+        median_ms: c.fetch_latencies.median().unwrap_or(0.0),
         storage_ms: 0.0,
         connection_ms: 0.0,
     }

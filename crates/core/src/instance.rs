@@ -19,14 +19,15 @@
 //! [`SynRecord`] re-enters the connection phase from the retransmitted
 //! header, and a total miss drops the packet.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::{Bytes, BytesMut};
+use yoda_balance::{ProbeConfig, ProbeReply, ProbeRequest, Prober, Signal, PROBE_PORT};
 use yoda_http::{parse_request, HttpRequest};
 use yoda_netsim::hash::hash_pair;
 use yoda_netsim::{
     Addr, Ctx, Endpoint, Histogram, Node, Packet, ServiceQueue, SimTime, TimerToken, PROTO_CTRL,
-    PROTO_IPIP, PROTO_PING, PROTO_RPC,
+    PROTO_IPIP, PROTO_PING, PROTO_PROBE, PROTO_RPC,
 };
 use yoda_tcp::{Flags, Segment, SeqNum};
 use yoda_tcpstore::{StoreClient, StoreClientConfig, StoreEvent, StoreOutcome, STORE_TIMER_KIND};
@@ -38,6 +39,10 @@ use crate::rules::{RuleTable, SelectCtx};
 
 /// Timer kind for periodic garbage collection.
 const GC_KIND: u32 = 0x6C;
+/// Probe tick timer (`yoda-balance` driver).
+const PROBE_TICK_KIND: u32 = 0x9E0;
+/// Per-probe timeout timer; `token.a` carries the probe tag.
+const PROBE_TIMEOUT_KIND: u32 = 0x9E1;
 /// GC period.
 const GC_PERIOD: SimTime = SimTime::from_secs(5);
 /// How long a fully-closed flow's local entry lingers to forward final
@@ -103,6 +108,9 @@ pub struct YodaConfig {
     pub optimistic_synack: bool,
     /// MSS used when chunking the forwarded request.
     pub mss: usize,
+    /// Probe subsystem tunables (`action=prequal` rules; probing only
+    /// runs while at least one installed rule is prequal).
+    pub probe: ProbeConfig,
 }
 
 impl Default for YodaConfig {
@@ -117,6 +125,7 @@ impl Default for YodaConfig {
             http11_inspect: true,
             optimistic_synack: false,
             mss: 1460,
+            probe: ProbeConfig::default(),
         }
     }
 }
@@ -233,6 +242,7 @@ pub struct YodaInstance {
     muxes: Vec<Addr>,
     vips: BTreeMap<Endpoint, VipConfig>,
     select_ctx: SelectCtx,
+    prober: Prober,
     store: StoreClient,
     cpu: ServiceQueue,
     flows: BTreeMap<(Endpoint, Endpoint), FlowEntry>,
@@ -271,12 +281,14 @@ impl YodaInstance {
     pub fn new(cfg: YodaConfig, addr: Addr, store_servers: &[Addr], muxes: Vec<Addr>) -> Self {
         let store = StoreClient::new(cfg.store.clone(), Endpoint::new(addr, 9999), store_servers);
         let cores = cfg.cores;
+        let probe = cfg.probe;
         YodaInstance {
             addr,
             cfg,
             muxes,
             vips: BTreeMap::new(),
             select_ctx: SelectCtx::default(),
+            prober: Prober::new(probe),
             store,
             cpu: ServiceQueue::new(cores),
             flows: BTreeMap::new(),
@@ -309,8 +321,14 @@ impl YodaInstance {
     }
 
     /// Installs a VIP with full options (rules + SSL).
-    pub fn install_vip_cfg(&mut self, vip: Endpoint, cfg: VipConfig) {
+    pub fn install_vip_cfg(&mut self, vip: Endpoint, mut cfg: VipConfig) {
+        cfg.rules.set_pool_config(self.cfg.probe.pool);
         self.vips.insert(vip, cfg);
+    }
+
+    /// Read-only access to the probe bookkeeping (tests, benches).
+    pub fn prober(&self) -> &Prober {
+        &self.prober
     }
 
     /// Removes a VIP's rules (existing flows keep tunneling).
@@ -679,6 +697,7 @@ impl YodaInstance {
         header: Bytes,
     ) {
         let (client, vip) = key;
+        self.select_ctx.now = ctx.now();
         let Some(vcfg) = self.vips.get_mut(&vip) else {
             self.dropped_unknown += 1;
             self.flows.remove(&key);
@@ -1006,6 +1025,7 @@ impl YodaInstance {
         let _ = t.inspect_buf.split_to(used);
         let current = t.backend;
         let already_switching = t.switching.is_some();
+        self.select_ctx.now = ctx.now();
         let Some(vcfg) = self.vips.get_mut(&vip) else {
             return;
         };
@@ -1584,6 +1604,74 @@ impl YodaInstance {
     }
 
     // ------------------------------------------------------------------
+    // Probing (yoda-balance)
+    // ------------------------------------------------------------------
+
+    /// One probe tick: lapse expired quarantines, gather the live,
+    /// unquarantined backends of every prequal rule, probe a
+    /// power-of-`d` sample of them, and re-arm the tick.
+    fn probe_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.prober.release_expired(now);
+        let mut candidates: BTreeSet<Endpoint> = BTreeSet::new();
+        for vcfg in self.vips.values() {
+            candidates.extend(vcfg.rules.prequal_backends());
+        }
+        candidates.retain(|b| {
+            !self.select_ctx.dead.contains(b) && !self.prober.is_quarantined(*b, now)
+        });
+        if !candidates.is_empty() {
+            let cands: Vec<Endpoint> = candidates.into_iter().collect();
+            let targets = self.prober.sample(&cands, ctx.rng());
+            let src = Endpoint::new(self.addr, PROBE_PORT);
+            for b in targets {
+                let tag = self.prober.begin(b, now);
+                ctx.send(Packet::new(
+                    src,
+                    b,
+                    PROTO_PROBE,
+                    ProbeRequest { tag }.encode(),
+                ));
+                ctx.set_timer(
+                    self.cfg.probe.timeout,
+                    TimerToken::new(PROBE_TIMEOUT_KIND).with_a(tag),
+                );
+            }
+        }
+        ctx.set_timer(self.cfg.probe.period, TimerToken::new(PROBE_TICK_KIND));
+    }
+
+    /// A probe reply: feed the signal to every VIP's rule table.
+    fn handle_probe_reply(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+        let Some(reply) = ProbeReply::decode(&pkt.payload) else {
+            return;
+        };
+        let now = ctx.now();
+        let Some(backend) = self.prober.on_reply(reply.tag, now) else {
+            return; // Late reply; the timeout already fired.
+        };
+        let sig = Signal {
+            rif: reply.rif,
+            latency_est: reply.latency,
+            last_probe: now,
+        };
+        for vcfg in self.vips.values_mut() {
+            vcfg.rules.on_probe(backend, sig);
+        }
+    }
+
+    /// A probe timeout: quarantine the backend and drop its pooled
+    /// signals, so selection stops routing to a silently-failed node.
+    fn probe_timeout(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if let Some(backend) = self.prober.on_timeout(tag, ctx.now()) {
+            ctx.trace_note(format!("probe timeout: quarantine {backend}"));
+            for vcfg in self.vips.values_mut() {
+                vcfg.rules.purge_backend(backend);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Control plane
     // ------------------------------------------------------------------
 
@@ -1604,6 +1692,9 @@ impl YodaInstance {
             InstanceCtrl::RemoveVip { vip } => self.remove_vip(vip),
             InstanceCtrl::BackendDown { backend } => {
                 self.select_ctx.dead.insert(backend);
+                for vcfg in self.vips.values_mut() {
+                    vcfg.rules.purge_backend(backend);
+                }
                 self.terminate_backend_flows(ctx, backend);
             }
             InstanceCtrl::BackendUp { backend } => {
@@ -1696,6 +1787,7 @@ impl YodaInstance {
 impl Node for YodaInstance {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.set_timer(GC_PERIOD, TimerToken::new(GC_KIND));
+        ctx.set_timer(self.cfg.probe.period, TimerToken::new(PROBE_TICK_KIND));
         self.cpu.reset_window(ctx.now());
     }
 
@@ -1713,6 +1805,7 @@ impl Node for YodaInstance {
                 }
             }
             PROTO_CTRL => self.handle_ctrl(ctx, &pkt),
+            PROTO_PROBE => self.handle_probe_reply(ctx, &pkt),
             PROTO_PING => {
                 let reply = Packet::new(pkt.dst, pkt.src, PROTO_PING, pkt.payload.clone());
                 ctx.send(reply);
@@ -1733,6 +1826,8 @@ impl Node for YodaInstance {
                 self.gc(ctx.now());
                 ctx.set_timer(GC_PERIOD, TimerToken::new(GC_KIND));
             }
+            PROBE_TICK_KIND => self.probe_tick(ctx),
+            PROBE_TIMEOUT_KIND => self.probe_timeout(ctx, token.a),
             _ => {}
         }
     }

@@ -11,7 +11,13 @@
 //!
 //! Supported policies (Table 3): **weighted-split**, **primary-backup**
 //! (via priorities), **sticky-sessions** (cookie table), and
-//! **least-loaded** (the paper's "weights set to −1" convention).
+//! **least-loaded** (the paper's "weights set to −1" convention). Beyond
+//! the paper, **prequal** selects via the `yoda-balance` probe pool
+//! (hot-cold lexicographic order over probed RIF and latency).
+//!
+//! Every action is applied through the pluggable [`Picker`] API from
+//! `yoda-balance`, so new selection policies slot in without touching the
+//! scan loop.
 //!
 //! Rules parse from / print to a one-line DSL so the controller can ship
 //! them to instances in control packets:
@@ -20,14 +26,19 @@
 //! name=r-jpg2 priority=3 match url=*.jpg action=split 10.1.0.2:80=0.5 10.1.0.3:80=0.5
 //! name=r-css1 priority=2 match url=*.css action=leastload 10.1.0.3:80 10.1.0.4:80
 //! name=r-ck   priority=0 match cookie=session action=sticky session 10.1.0.2:80 10.1.0.3:80
+//! name=r-pq   priority=1 match * action=prequal 10.1.0.2:80 10.1.0.3:80
 //! ```
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use yoda_balance::{
+    HotCold, LeastLoaded, PickInput, Picker, PoolConfig, ProbePool, Signal, StickyHash,
+    WeightedSplit,
+};
 use yoda_netsim::rng::Rng;
 use yoda_http::HttpRequest;
-use yoda_netsim::{Addr, Endpoint};
+use yoda_netsim::{Addr, Endpoint, SimTime};
 
 /// Glob matching with `*` (any run) and `?` (any one char).
 pub fn glob_match(pattern: &str, text: &str) -> bool {
@@ -124,6 +135,10 @@ pub enum Action {
     /// Mirror the request to every backend and serve whichever responds
     /// first (§5.2 "Sending the same request to multiple servers").
     Mirror(Vec<Endpoint>),
+    /// Probe-driven adaptive selection (`yoda-balance`, Prequal-style):
+    /// hot-cold lexicographic order over the rule's probe pool, falling
+    /// back to a uniform-random live backend while the pool is empty.
+    Prequal(Vec<Endpoint>),
 }
 
 impl Action {
@@ -134,6 +149,7 @@ impl Action {
             Action::LeastLoaded(bs) => bs.clone(),
             Action::Sticky { backends, .. } => backends.clone(),
             Action::Mirror(bs) => bs.clone(),
+            Action::Prequal(bs) => bs.clone(),
         }
     }
 }
@@ -244,6 +260,13 @@ impl Rule {
                         }
                         action = Some(Action::Mirror(bs));
                     }
+                    "prequal" => {
+                        let mut bs = Vec::new();
+                        for t in tokens.by_ref() {
+                            bs.push(parse_endpoint(t)?);
+                        }
+                        action = Some(Action::Prequal(bs));
+                    }
                     _ => return None,
                 }
             } else {
@@ -307,6 +330,12 @@ impl fmt::Display for Rule {
                     write!(f, " {b}")?;
                 }
             }
+            Action::Prequal(bs) => {
+                write!(f, " action=prequal")?;
+                for b in bs {
+                    write!(f, " {b}")?;
+                }
+            }
         }
         Ok(())
     }
@@ -319,6 +348,8 @@ pub struct SelectCtx {
     pub dead: BTreeSet<Endpoint>,
     /// Open-connection counts per backend (least-loaded policy).
     pub loads: BTreeMap<Endpoint, i64>,
+    /// Current simulated time (probe-pool staleness eviction).
+    pub now: SimTime,
 }
 
 /// A per-VIP rule table.
@@ -331,6 +362,10 @@ pub struct RuleTable {
     rules: Vec<Rule>,
     /// Sticky cookie table: cookie value → backend.
     sticky: BTreeMap<String, Endpoint>,
+    /// Per-prequal-rule probe pools, keyed by rule name (lazily created).
+    pools: BTreeMap<String, ProbePool>,
+    /// Configuration applied to newly created pools.
+    pool_cfg: PoolConfig,
 }
 
 impl RuleTable {
@@ -423,6 +458,7 @@ impl RuleTable {
             if !self.rules[i].matcher.matches(req) {
                 continue;
             }
+            let name = self.rules[i].name.clone();
             let action = self.rules[i].action.clone();
             if let Action::Mirror(bs) = &action {
                 let live: Vec<Endpoint> = bs
@@ -438,7 +474,7 @@ impl RuleTable {
                 }
                 continue; // all mirror targets dead: fall through
             }
-            if let Some(pick) = self.apply(&action, req, ctx, rng) {
+            if let Some(pick) = self.apply(&name, &action, req, ctx, rng) {
                 return Some(Selection {
                     primary: pick,
                     mirrors: Vec::new(),
@@ -448,72 +484,133 @@ impl RuleTable {
         None
     }
 
+    /// Applies one action by delegating to the matching [`Picker`] from
+    /// `yoda-balance`. The linear scan above decides *which* rule fires;
+    /// the picker decides *which backend* serves it.
     fn apply(
         &mut self,
+        rule_name: &str,
         action: &Action,
         req: &HttpRequest,
         ctx: &SelectCtx,
         rng: &mut Rng,
     ) -> Option<Endpoint> {
+        let live: Vec<Endpoint> = action
+            .backends()
+            .into_iter()
+            .filter(|b| !ctx.dead.contains(b))
+            .collect();
+        // Open-connection counts stand in for RIF until probes refine it.
+        let signals: BTreeMap<Endpoint, Signal> = ctx
+            .loads
+            .iter()
+            .map(|(b, l)| {
+                (
+                    *b,
+                    Signal {
+                        rif: (*l).max(0) as u32,
+                        latency_est: SimTime::ZERO,
+                        last_probe: ctx.now,
+                    },
+                )
+            })
+            .collect();
+        let input = PickInput {
+            live: &live,
+            signals: &signals,
+            now: ctx.now,
+        };
         match action {
             Action::Split(ws) => {
-                let live: Vec<(Endpoint, f64)> = ws
-                    .iter()
-                    .filter(|(b, w)| !ctx.dead.contains(b) && *w > 0.0)
-                    .copied()
-                    .collect();
                 // All-negative weights = least-loaded convention (§5.1).
-                if live.is_empty() && ws.iter().all(|(_, w)| *w < 0.0) {
+                if !ws.is_empty() && ws.iter().all(|(_, w)| *w < 0.0) {
                     return self.apply(
+                        rule_name,
                         &Action::LeastLoaded(ws.iter().map(|(b, _)| *b).collect()),
                         req,
                         ctx,
                         rng,
                     );
                 }
-                let total: f64 = live.iter().map(|(_, w)| w).sum();
-                if total <= 0.0 {
-                    return None;
-                }
-                let mut roll = rng.gen_f64() * total;
-                for (b, w) in &live {
-                    roll -= w;
-                    if roll <= 0.0 {
-                        return Some(*b);
-                    }
-                }
-                live.last().map(|(b, _)| *b)
+                WeightedSplit { weights: ws }.pick(&input, rng)
             }
-            Action::LeastLoaded(bs) => bs
-                .iter()
-                .filter(|b| !ctx.dead.contains(b))
-                .min_by_key(|b| ctx.loads.get(b).copied().unwrap_or(0))
-                .copied(),
+            Action::LeastLoaded(_) => LeastLoaded.pick(&input, rng),
             // Mirror is handled by select_full before apply() is reached;
             // treat a direct call as "first live target".
-            Action::Mirror(bs) => bs.iter().find(|b| !ctx.dead.contains(b)).copied(),
-            Action::Sticky { cookie, backends } => {
+            Action::Mirror(_) => live.first().copied(),
+            Action::Sticky { cookie, .. } => {
                 let value = req.cookie(cookie)?.to_string();
                 if let Some(&b) = self.sticky.get(&value) {
                     if !ctx.dead.contains(&b) {
                         return Some(b);
                     }
                 }
-                let live: Vec<Endpoint> = backends
-                    .iter()
-                    .filter(|b| !ctx.dead.contains(b))
-                    .copied()
-                    .collect();
-                if live.is_empty() {
-                    return None;
-                }
-                let idx = yoda_netsim::hash::hash_bytes(0xC00C1E, value.as_bytes()) as usize
-                    % live.len();
-                let pick = live[idx];
+                let key_hash = yoda_netsim::hash::hash_bytes(0xC00C1E, value.as_bytes());
+                let pick = StickyHash { key_hash }.pick(&input, rng)?;
                 self.sticky.insert(value, pick);
                 Some(pick)
             }
+            Action::Prequal(_) => {
+                let cfg = self.pool_cfg;
+                let pool = self
+                    .pools
+                    .entry(rule_name.to_string())
+                    .or_insert_with(|| ProbePool::new(cfg));
+                HotCold { pool }.pick(&input, rng)
+            }
         }
+    }
+
+    /// Replaces the configuration used for pools created after this call
+    /// (the instance pushes its `YodaConfig` probe settings here when a
+    /// VIP is installed, before any probe answers arrive).
+    pub fn set_pool_config(&mut self, cfg: PoolConfig) {
+        self.pool_cfg = cfg;
+    }
+
+    /// True when any rule uses the prequal action (drives probing).
+    pub fn has_prequal(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| matches!(r.action, Action::Prequal(_)))
+    }
+
+    /// Union of backends reachable through prequal rules (the probe
+    /// candidate set).
+    pub fn prequal_backends(&self) -> BTreeSet<Endpoint> {
+        self.rules
+            .iter()
+            .filter(|r| matches!(r.action, Action::Prequal(_)))
+            .flat_map(|r| r.action.backends())
+            .collect()
+    }
+
+    /// Feeds one probe answer to every prequal rule pool that includes
+    /// `backend`.
+    pub fn on_probe(&mut self, backend: Endpoint, sig: Signal) {
+        let cfg = self.pool_cfg;
+        for r in &self.rules {
+            if let Action::Prequal(bs) = &r.action {
+                if bs.contains(&backend) {
+                    self.pools
+                        .entry(r.name.clone())
+                        .or_insert_with(|| ProbePool::new(cfg))
+                        .admit(backend, sig);
+                }
+            }
+        }
+    }
+
+    /// Drops `backend` from every probe pool (death or quarantine).
+    pub fn purge_backend(&mut self, backend: Endpoint) {
+        for pool in self.pools.values_mut() {
+            pool.purge(backend);
+        }
+    }
+
+    /// Read-only view of one rule's probe pool (tests, debugging).
+    pub fn pool(&self, rule_name: &str) -> Option<&ProbePool> {
+        self.pools.get(rule_name)
     }
 }
 
@@ -548,6 +645,7 @@ mod tests {
             "name=r-ll priority=1 match * action=leastload 10.1.0.2:80 10.1.0.3:80",
             "name=r-ck priority=0 match cookie=session action=sticky session 10.1.0.2:80",
             "name=r-hdr priority=2 match host=mysite.test header=Accept-Language:en-GB* action=split 10.1.0.4:80=1",
+            "name=r-pq priority=1 match * action=prequal 10.1.0.2:80 10.1.0.3:80",
         ];
         for line in lines {
             let rule = Rule::parse(line).unwrap_or_else(|| panic!("parse {line}"));
@@ -680,6 +778,89 @@ mod tests {
         assert_eq!(table.remove("c"), 1);
         assert_eq!(table.len(), 2);
         assert_eq!(table.remove("zzz"), 0);
+    }
+
+    #[test]
+    fn prequal_dsl_roundtrip() {
+        let line = "name=pq priority=2 match url=*.jpg action=prequal 10.1.0.2:80 10.1.0.3:80";
+        let rule = Rule::parse(line).expect("parses");
+        assert!(matches!(&rule.action, Action::Prequal(bs) if bs.len() == 2));
+        assert_eq!(rule.to_string(), line);
+        let reparsed = Rule::parse(&rule.to_string()).expect("reparses");
+        assert_eq!(rule, reparsed);
+    }
+
+    #[test]
+    fn prequal_uses_pool_and_falls_back_to_random() {
+        use yoda_balance::Signal;
+        let mut table = RuleTable::from_rules(vec![Rule::parse(
+            "name=pq priority=1 match * action=prequal 10.1.0.2:80 10.1.0.3:80 10.1.0.4:80",
+        )
+        .unwrap()]);
+        assert!(table.has_prequal());
+        assert_eq!(table.prequal_backends().len(), 3);
+        let ctx = SelectCtx::default();
+        let mut rng = Rng::seed_from_u64(1);
+        // Empty pool: degrade to uniform random over live backends.
+        let mut seen = BTreeSet::new();
+        for _ in 0..50 {
+            seen.insert(table.select(&req("/x"), &ctx, &mut rng).unwrap());
+        }
+        assert!(seen.len() > 1, "random fallback spreads load");
+        // Feed probes: ep(3) is idle and fast, the rest are hot. The pool
+        // must route to it (repeatedly, re-admitting as reuse evicts).
+        for _ in 0..4 {
+            table.on_probe(
+                ep(2),
+                Signal {
+                    rif: 50,
+                    latency_est: SimTime::from_millis(40),
+                    last_probe: ctx.now,
+                },
+            );
+            table.on_probe(
+                ep(3),
+                Signal {
+                    rif: 0,
+                    latency_est: SimTime::from_millis(1),
+                    last_probe: ctx.now,
+                },
+            );
+            table.on_probe(
+                ep(4),
+                Signal {
+                    rif: 48,
+                    latency_est: SimTime::from_millis(35),
+                    last_probe: ctx.now,
+                },
+            );
+            assert_eq!(table.select(&req("/x"), &ctx, &mut rng), Some(ep(3)));
+        }
+        assert!(table.pool("pq").is_some());
+    }
+
+    #[test]
+    fn prequal_purge_backend_empties_pool() {
+        use yoda_balance::Signal;
+        let mut table = RuleTable::from_rules(vec![Rule::parse(
+            "name=pq priority=1 match * action=prequal 10.1.0.2:80 10.1.0.3:80",
+        )
+        .unwrap()]);
+        let sig = Signal {
+            rif: 0,
+            latency_est: SimTime::from_millis(1),
+            last_probe: SimTime::ZERO,
+        };
+        table.on_probe(ep(2), sig);
+        table.on_probe(ep(3), sig);
+        assert_eq!(table.pool("pq").map(|p| p.len()), Some(2));
+        table.purge_backend(ep(2));
+        assert_eq!(table.pool("pq").map(|p| p.len()), Some(1));
+        // A dead backend with a pooled entry is never selected.
+        let mut ctx = SelectCtx::default();
+        ctx.dead.insert(ep(3));
+        let mut rng = Rng::seed_from_u64(1);
+        assert_eq!(table.select(&req("/x"), &ctx, &mut rng), Some(ep(2)));
     }
 
     #[test]

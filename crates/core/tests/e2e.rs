@@ -3,7 +3,7 @@
 
 use yoda_core::testbed::{Testbed, TestbedConfig};
 use yoda_core::YodaInstance;
-use yoda_http::{BrowserClient, BrowserConfig};
+use yoda_http::{BrowserClient, BrowserConfig, RateClient, RateClientConfig};
 use yoda_netsim::SimTime;
 
 fn small_testbed(seed: u64) -> Testbed {
@@ -72,7 +72,7 @@ fn wan_latency_shape_matches_paper_baseline() {
     tb.engine.run_for(SimTime::from_secs(120));
     let b = tb.engine.node_mut::<BrowserClient>(browser);
     assert!(b.completed > 0);
-    let median = b.request_latencies.median();
+    let median = b.request_latencies.median().expect("completed > 0");
     assert!(
         median > 200.0 && median < 3_000.0,
         "object fetch median {median} ms"
@@ -148,4 +148,68 @@ fn instance_failure_is_transparent_to_clients() {
         recovered > 0,
         "surviving instances recovered flows from TCPStore"
     );
+}
+
+#[test]
+fn prequal_quarantines_failed_backend_and_keeps_serving() {
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 23,
+        num_instances: 2,
+        num_stores: 3,
+        num_backends: 4,
+        num_muxes: 2,
+        num_services: 1,
+        pages_per_site: 10,
+        ..TestbedConfig::default()
+    });
+    let vip = tb.vips[0];
+    let backends: Vec<String> = tb.service_backends[0]
+        .iter()
+        .map(|b| b.to_string())
+        .collect();
+    let rules = format!(
+        "name=pq priority=1 match * action=prequal {}",
+        backends.join(" ")
+    );
+    // After (not racing) the builder's t=0 equal-split install.
+    tb.set_policy_at(vip, &rules, SimTime::from_millis(200));
+    let client = tb.add_rate_client(
+        0,
+        RateClientConfig {
+            rate_per_sec: 200.0,
+            duration: Some(SimTime::from_secs(10)),
+            ..RateClientConfig::default()
+        },
+    );
+
+    // Kill one prequal backend mid-run: in-flight probes to it time
+    // out, every instance quarantines it, and selection shifts to the
+    // survivors well before the controller's slower failure broadcast.
+    tb.fail_backend_at(0, SimTime::from_secs(3));
+    tb.engine.run_for(SimTime::from_secs(14));
+
+    let mut sent = 0;
+    let mut timed_out = 0;
+    let mut quarantines = 0;
+    for &i in &tb.instances {
+        let p = tb.engine.node_ref::<YodaInstance>(i).prober();
+        sent += p.probes_sent;
+        timed_out += p.probes_timed_out;
+        quarantines += p.quarantines;
+    }
+    assert!(sent > 1_000, "prequal instances probed ({sent} probes)");
+    assert!(timed_out > 0, "probes to the dead backend timed out");
+    assert!(
+        quarantines >= tb.instances.len() as u64,
+        "every instance quarantined the dead backend ({quarantines})"
+    );
+
+    let c = tb.engine.node_ref::<RateClient>(client);
+    assert!(
+        c.completed >= c.issued * 9 / 10,
+        "service continued through the failure ({}/{} completed)",
+        c.completed,
+        c.issued
+    );
+    assert_eq!(c.timeouts, 0, "no request hit the 30 s HTTP timeout");
 }

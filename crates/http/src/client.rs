@@ -561,6 +561,12 @@ impl RateClient {
         }
     }
 
+    /// Changes the request rate; takes effect at the next tick, which
+    /// lets scenarios drive bursty (square-wave) load.
+    pub fn set_rate(&mut self, rate_per_sec: f64) {
+        self.cfg.rate_per_sec = rate_per_sec.max(0.001);
+    }
+
     fn tick_interval(&self) -> SimTime {
         SimTime::from_secs_f64(1.0 / self.cfg.rate_per_sec)
     }
@@ -833,7 +839,10 @@ mod tests {
         assert_eq!(completed, issued, "all complete");
         assert_eq!(timeouts, 0);
         let c = eng.node_mut::<RateClient>(id);
-        assert!(c.latencies.median() < 200.0, "fast LAN fetches");
+        assert!(
+            c.latencies.median().expect("completed > 0") < 200.0,
+            "fast LAN fetches"
+        );
     }
 
     #[test]

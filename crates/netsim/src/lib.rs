@@ -56,7 +56,9 @@ pub use addr::{Addr, Endpoint};
 pub use rng::Rng;
 pub use engine::{Ctx, Engine, NodeId};
 pub use node::{Node, TimerId, TimerToken};
-pub use packet::{Packet, Protocol, PROTO_CTRL, PROTO_IPIP, PROTO_PING, PROTO_RPC, PROTO_TCP};
+pub use packet::{
+    Packet, Protocol, PROTO_CTRL, PROTO_IPIP, PROTO_PING, PROTO_PROBE, PROTO_RPC, PROTO_TCP,
+};
 pub use service::ServiceQueue;
 pub use stats::{Counter, Histogram};
 pub use time::SimTime;

@@ -28,6 +28,9 @@ pub const PROTO_IPIP: Protocol = 4;
 pub const PROTO_RPC: Protocol = 17;
 /// Control-plane messages (mux map updates, rule installs).
 pub const PROTO_CTRL: Protocol = 42;
+/// Load-balancer probes (RIF + latency sampling, `yoda-balance`) —
+/// IANA's "use for experimentation" number.
+pub const PROTO_PROBE: Protocol = 253;
 
 /// Fixed per-packet header overhead, in bytes, charged by the link model
 /// (IP 20 + simulated L2 framing 18).

@@ -20,8 +20,9 @@ use crate::time::SimTime;
 /// for v in [1.0, 2.0, 3.0, 4.0] {
 ///     h.record(v);
 /// }
-/// assert_eq!(h.percentile(50.0), 2.0);
-/// assert_eq!(h.max(), 4.0);
+/// assert_eq!(h.percentile(50.0), Some(2.0));
+/// assert_eq!(h.max(), Some(4.0));
+/// assert_eq!(Histogram::new().max(), None);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
@@ -64,53 +65,54 @@ impl Histogram {
         }
     }
 
-    /// Returns the `p`-th percentile (nearest-rank), `0.0 < p <= 100.0`.
+    /// Returns the `p`-th percentile (nearest-rank), `0.0 < p <= 100.0`,
+    /// or `None` when the histogram is empty.
     ///
     /// # Panics
     ///
-    /// Panics if the histogram is empty or `p` is out of range.
-    pub fn percentile(&mut self, p: f64) -> f64 {
-        assert!(!self.samples.is_empty(), "empty histogram");
+    /// Panics if `p` is out of range.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
         assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
         self.sort();
         let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.clamp(1, self.samples.len()) - 1]
+        self.samples.get(rank.clamp(1, self.samples.len()) - 1).copied()
     }
 
-    /// Median (P50).
-    pub fn median(&mut self) -> f64 {
+    /// Median (P50), or `None` when empty.
+    pub fn median(&mut self) -> Option<f64> {
         self.percentile(50.0)
     }
 
-    /// Arithmetic mean.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the histogram is empty.
-    pub fn mean(&self) -> f64 {
-        assert!(!self.samples.is_empty(), "empty histogram");
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
     }
 
-    /// Largest sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the histogram is empty.
-    pub fn max(&self) -> f64 {
-        self.samples
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
     }
 
-    /// Smallest sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the histogram is empty.
-    pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().copied().fold(f64::INFINITY, f64::min))
     }
 
     /// Fraction of samples `<= x`, in `[0, 1]`.
@@ -193,21 +195,21 @@ mod tests {
         for v in 1..=100 {
             h.record(v as f64);
         }
-        assert_eq!(h.percentile(50.0), 50.0);
-        assert_eq!(h.percentile(90.0), 90.0);
-        assert_eq!(h.percentile(100.0), 100.0);
-        assert_eq!(h.percentile(1.0), 1.0);
+        assert_eq!(h.percentile(50.0), Some(50.0));
+        assert_eq!(h.percentile(90.0), Some(90.0));
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        assert_eq!(h.percentile(1.0), Some(1.0));
     }
 
     #[test]
     fn single_sample() {
         let mut h = Histogram::new();
         h.record(7.5);
-        assert_eq!(h.median(), 7.5);
-        assert_eq!(h.percentile(99.0), 7.5);
-        assert_eq!(h.mean(), 7.5);
-        assert_eq!(h.min(), 7.5);
-        assert_eq!(h.max(), 7.5);
+        assert_eq!(h.median(), Some(7.5));
+        assert_eq!(h.percentile(99.0), Some(7.5));
+        assert_eq!(h.mean(), Some(7.5));
+        assert_eq!(h.min(), Some(7.5));
+        assert_eq!(h.max(), Some(7.5));
     }
 
     #[test]
@@ -244,19 +246,23 @@ mod tests {
         b.record(3.0);
         a.merge(&b);
         assert_eq!(a.len(), 2);
-        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.mean(), Some(2.0));
     }
 
     #[test]
     fn record_time_ms_converts() {
         let mut h = Histogram::new();
         h.record_time_ms(SimTime::from_millis(151));
-        assert_eq!(h.median(), 151.0);
+        assert_eq!(h.median(), Some(151.0));
     }
 
     #[test]
-    #[should_panic(expected = "empty histogram")]
-    fn empty_percentile_panics() {
-        Histogram::new().percentile(50.0);
+    fn empty_histogram_returns_none() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.median(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
     }
 }

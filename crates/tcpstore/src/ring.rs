@@ -197,6 +197,65 @@ mod tests {
     }
 
     #[test]
+    fn single_server_ring_returns_it_for_any_k() {
+        let only = Addr::new(10, 0, 1, 1);
+        let ring = HashRing::new(&[only], 16);
+        for k in [1usize, 2, 5] {
+            for i in 0..50 {
+                let key = format!("key-{i}");
+                assert_eq!(ring.replicas(key.as_bytes(), k), vec![only]);
+            }
+        }
+        assert_eq!(ring.primary(b"anything"), only);
+    }
+
+    #[test]
+    fn k_exceeding_servers_returns_all_distinct() {
+        // k far beyond N: every server appears exactly once, none twice.
+        let all = servers(4);
+        let ring = HashRing::new(&all, 32);
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            let mut reps = ring.replicas(key.as_bytes(), 100);
+            assert_eq!(reps.len(), 4);
+            reps.sort();
+            reps.dedup();
+            assert_eq!(reps.len(), 4, "replicas must be distinct");
+        }
+    }
+
+    #[test]
+    fn replica_sets_stable_when_unrelated_server_added() {
+        // Adding a server may pull some keys onto *it*, but must never
+        // shuffle a key between two pre-existing servers: any change to a
+        // key's replica set involves the new server.
+        let old = servers(9);
+        let mut grown = old.clone();
+        let newcomer = Addr::new(10, 0, 1, 10);
+        grown.push(newcomer);
+        let ring_old = HashRing::new(&old, 128);
+        let ring_new = HashRing::new(&grown, 128);
+        let mut disrupted = 0;
+        for i in 0..3000 {
+            let key = format!("flow:{i}");
+            let before = ring_old.replicas(key.as_bytes(), 2);
+            let after = ring_new.replicas(key.as_bytes(), 2);
+            if before != after {
+                assert!(
+                    after.contains(&newcomer),
+                    "key {key}: {before:?} -> {after:?} without involving the new server"
+                );
+                disrupted += 1;
+            }
+        }
+        // Consistent hashing bounds churn to roughly K/N of keys.
+        assert!(
+            (disrupted as f64) < 3000.0 * 0.5,
+            "{disrupted}/3000 replica sets changed"
+        );
+    }
+
+    #[test]
     fn hash_seeds_decorrelate() {
         let a = hash_bytes(0, b"same-key");
         let b = hash_bytes(1, b"same-key");

@@ -49,6 +49,7 @@ use lexer::{lex, LexedLine};
 /// iteration order inside them can leak into event scheduling.
 const SIM_CRATES: &[&str] = &[
     "crates/netsim/src/",
+    "crates/balance/src/",
     "crates/tcp/src/",
     "crates/core/src/",
     "crates/tcpstore/src/",

@@ -27,8 +27,10 @@
 #![forbid(unsafe_code)]
 
 pub mod gen;
+pub mod scenario;
 
 pub use gen::{Trace, TraceConfig, VipTrace};
+pub use scenario::{AdaptiveScenario, BurstyLoad, SpeedPhase};
 
 use yoda_assign::{AssignInput, Assignment, VipSpec};
 

@@ -57,7 +57,7 @@ fn main() {
         println!("  downloads completed : {}/{}", b.completed, b.completed + b.broken_flows);
         println!("  broken flows        : {}", b.broken_flows);
         println!("  flows recovered via TCPStore: {recovered}");
-        println!("  max download time   : {:.1} s", b.request_latencies.max() / 1000.0);
+        println!("  max download time   : {:.1} s", b.request_latencies.max().unwrap_or(0.0) / 1000.0);
     }
 
     println!("\n== HAProxy baseline: same failure ==");
@@ -83,6 +83,6 @@ fn main() {
         let b = tb.engine.node_mut::<BrowserClient>(browser);
         println!("  downloads completed : {}/{}", b.completed, b.completed + b.broken_flows);
         println!("  broken flows        : {} (hung until the 30 s HTTP timeout)", b.broken_flows);
-        println!("  max download time   : {:.1} s", b.request_latencies.max() / 1000.0);
+        println!("  max download time   : {:.1} s", b.request_latencies.max().unwrap_or(0.0) / 1000.0);
     }
 }

@@ -45,8 +45,8 @@ fn main() {
     println!("pages completed : {}", b.pages_completed);
     println!("objects fetched : {}", b.completed);
     println!("broken flows    : {}", b.broken_flows);
-    println!("median page load: {:.0} ms", b.page_latencies.median());
-    println!("median object   : {:.0} ms", b.request_latencies.median());
+    println!("median page load: {:.0} ms", b.page_latencies.median().unwrap_or(0.0));
+    println!("median object   : {:.0} ms", b.request_latencies.median().unwrap_or(0.0));
 
     println!("\nper-instance activity:");
     for (&id, addr) in tb.instances.iter().zip(&tb.instance_addrs) {

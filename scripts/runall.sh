@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every artifact in results/ from the bench binaries.
+# Each run is deterministic (fixed seeds, simulated clock), so a clean
+# checkout reproduces these files byte-for-byte. Takes ~15 minutes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+
+run() {
+  local bin="$1"
+  shift
+  echo "==> $bin $*"
+  "./target/release/$bin" "$@" > "results/$bin.txt"
+}
+
+run table1_website_impact
+run fig6_rule_latency
+run fig9_latency_breakdown
+run fig10_tcpstore_latency
+run fig12_failure_recovery --timeline
+run fig13_scalability
+run fig14_policy_update
+run fig15_cost_reduction
+run fig16_updates
+run fig17_adaptive_tail
+run ablation
+
+echo "==> results/ regenerated"

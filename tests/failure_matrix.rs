@@ -180,5 +180,5 @@ fn backend_failure_terminates_its_flows_quickly() {
     assert_eq!(b.broken_flows, 0);
     assert_eq!(b.pages_completed, 16);
     assert!(b.resets > 0, "mid-flight flows got reset notifications");
-    assert!(b.request_latencies.max() < 25_000.0);
+    assert!(b.request_latencies.max().unwrap_or(0.0) < 25_000.0);
 }

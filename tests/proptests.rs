@@ -268,11 +268,11 @@ fn histogram_percentiles_monotone() {
         for _ in 0..n {
             h.record(rng.gen_range(0.0f64..1e6));
         }
-        let lo = h.min();
-        let hi = h.max();
+        let lo = h.min().expect("n >= 1");
+        let hi = h.max().expect("n >= 1");
         let mut prev = lo;
         for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
-            let v = h.percentile(p);
+            let v = h.percentile(p).expect("n >= 1");
             assert!(v >= lo && v <= hi);
             assert!(v >= prev);
             prev = v;
