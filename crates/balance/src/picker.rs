@@ -106,7 +106,7 @@ impl Picker for StickyHash {
         if input.live.is_empty() {
             return None;
         }
-        Some(input.live[self.key_hash as usize % input.live.len()])
+        input.live.get(self.key_hash as usize % input.live.len()).copied()
     }
 }
 
@@ -132,7 +132,8 @@ impl Picker for HotCold<'_> {
         if input.live.is_empty() {
             return None;
         }
-        Some(input.live[rng.gen_range(0..input.live.len() as u64) as usize])
+        let idx = rng.gen_range(0..input.live.len() as u64) as usize;
+        input.live.get(idx).copied()
     }
 }
 

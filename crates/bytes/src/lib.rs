@@ -115,8 +115,16 @@ impl Bytes {
 
     /// The bytes as a plain slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        self.data.get(self.start..self.end).unwrap_or(&[])
     }
+}
+
+/// Copies `N` bytes starting at `at` out of `b`, or `None` if `b` is too
+/// short. The panic-free building block every wire-format decoder in the
+/// workspace uses instead of `buf[at..at + N].try_into().unwrap()`.
+#[inline]
+pub fn array_at<const N: usize>(b: &[u8], at: usize) -> Option<[u8; N]> {
+    b.get(at..at.checked_add(N)?)?.try_into().ok()
 }
 
 impl Deref for Bytes {
@@ -466,6 +474,16 @@ mod tests {
         let head = m.split_to(2);
         assert_eq!(head.as_slice(), b"ab");
         assert_eq!(m.as_slice(), b"cdef");
+    }
+
+    #[test]
+    fn array_at_bounds() {
+        let b = [1u8, 2, 3, 4, 5];
+        assert_eq!(array_at::<2>(&b, 0), Some([1, 2]));
+        assert_eq!(array_at::<3>(&b, 2), Some([3, 4, 5]));
+        assert_eq!(array_at::<3>(&b, 3), None);
+        assert_eq!(array_at::<6>(&b, 0), None);
+        assert_eq!(array_at::<1>(&b, usize::MAX), None);
     }
 
     #[test]

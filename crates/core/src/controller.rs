@@ -405,7 +405,9 @@ impl Controller {
             activated += 1;
             let vips: Vec<Endpoint> = self.vips.keys().copied().collect();
             for vip in vips {
-                let state = self.vips.get_mut(&vip).expect("exists");
+                let Some(state) = self.vips.get_mut(&vip) else {
+                    continue;
+                };
                 let msg = InstanceCtrl::InstallVip {
                     vip,
                     rules_text: state.rules_text.clone(),

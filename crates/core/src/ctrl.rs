@@ -69,14 +69,7 @@ pub enum InstanceCtrl {
 fn parse_endpoint(s: &str) -> Option<Endpoint> {
     let (addr, port) = s.rsplit_once(':')?;
     let port: u16 = port.parse().ok()?;
-    let o: Vec<u8> = addr
-        .split('.')
-        .map(|x| x.parse().ok())
-        .collect::<Option<Vec<u8>>>()?;
-    if o.len() != 4 {
-        return None;
-    }
-    Some(Endpoint::new(Addr::new(o[0], o[1], o[2], o[3]), port))
+    Some(Endpoint::new(parse_addr(addr)?, port))
 }
 
 fn parse_addr(s: &str) -> Option<Addr> {
@@ -84,10 +77,10 @@ fn parse_addr(s: &str) -> Option<Addr> {
         .split('.')
         .map(|x| x.parse().ok())
         .collect::<Option<Vec<u8>>>()?;
-    if o.len() != 4 {
+    let [a, b, c, d] = o.as_slice() else {
         return None;
-    }
-    Some(Addr::new(o[0], o[1], o[2], o[3]))
+    };
+    Some(Addr::new(*a, *b, *c, *d))
 }
 
 impl InstanceCtrl {

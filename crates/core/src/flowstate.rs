@@ -56,12 +56,9 @@ impl SynRecord {
         if b.len() != 16 {
             return None;
         }
-        let mut six = [0u8; 6];
-        six.copy_from_slice(&b[0..6]);
-        let client = Endpoint::from_bytes(&six);
-        six.copy_from_slice(&b[6..12]);
-        let vip = Endpoint::from_bytes(&six);
-        let client_isn = SeqNum::new(u32::from_be_bytes([b[12], b[13], b[14], b[15]]));
+        let client = Endpoint::from_bytes(&bytes::array_at::<6>(b, 0)?);
+        let vip = Endpoint::from_bytes(&bytes::array_at::<6>(b, 6)?);
+        let client_isn = SeqNum::new(u32::from_be_bytes(bytes::array_at::<4>(b, 12)?));
         Some(SynRecord {
             client,
             vip,
@@ -128,15 +125,11 @@ impl FlowRecord {
         if b.len() != 26 {
             return None;
         }
-        let mut six = [0u8; 6];
-        six.copy_from_slice(&b[0..6]);
-        let client = Endpoint::from_bytes(&six);
-        six.copy_from_slice(&b[6..12]);
-        let vip = Endpoint::from_bytes(&six);
-        six.copy_from_slice(&b[12..18]);
-        let backend = Endpoint::from_bytes(&six);
-        let client_isn = SeqNum::new(u32::from_be_bytes([b[18], b[19], b[20], b[21]]));
-        let server_isn = SeqNum::new(u32::from_be_bytes([b[22], b[23], b[24], b[25]]));
+        let client = Endpoint::from_bytes(&bytes::array_at::<6>(b, 0)?);
+        let vip = Endpoint::from_bytes(&bytes::array_at::<6>(b, 6)?);
+        let backend = Endpoint::from_bytes(&bytes::array_at::<6>(b, 12)?);
+        let client_isn = SeqNum::new(u32::from_be_bytes(bytes::array_at::<4>(b, 18)?));
+        let server_isn = SeqNum::new(u32::from_be_bytes(bytes::array_at::<4>(b, 22)?));
         Some(FlowRecord {
             client,
             vip,

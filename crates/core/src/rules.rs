@@ -46,11 +46,12 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
     let t: Vec<char> = text.chars().collect();
     let (mut pi, mut ti) = (0usize, 0usize);
     let (mut star, mut mark) = (usize::MAX, 0usize);
-    while ti < t.len() {
-        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+    while let Some(&tc) = t.get(ti) {
+        let pc = p.get(pi).copied();
+        if pc == Some('?') || pc == Some(tc) {
             pi += 1;
             ti += 1;
-        } else if pi < p.len() && p[pi] == '*' {
+        } else if pc == Some('*') {
             star = pi;
             mark = ti;
             pi += 1;
@@ -62,7 +63,7 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
             return false;
         }
     }
-    while pi < p.len() && p[pi] == '*' {
+    while p.get(pi) == Some(&'*') {
         pi += 1;
     }
     pi == p.len()
@@ -184,13 +185,10 @@ fn parse_endpoint(s: &str) -> Option<Endpoint> {
         .split('.')
         .map(|o| o.parse().ok())
         .collect::<Option<Vec<u8>>>()?;
-    if octets.len() != 4 {
+    let [a, b, c, d] = octets.as_slice() else {
         return None;
-    }
-    Some(Endpoint::new(
-        Addr::new(octets[0], octets[1], octets[2], octets[3]),
-        port,
-    ))
+    };
+    Some(Endpoint::new(Addr::new(*a, *b, *c, *d), port))
 }
 
 impl Rule {
@@ -455,11 +453,14 @@ impl RuleTable {
         rng: &mut Rng,
     ) -> Option<Selection> {
         for i in 0..self.rules.len() {
-            if !self.rules[i].matcher.matches(req) {
+            let Some(rule) = self.rules.get(i) else {
+                break;
+            };
+            if !rule.matcher.matches(req) {
                 continue;
             }
-            let name = self.rules[i].name.clone();
-            let action = self.rules[i].action.clone();
+            let name = rule.name.clone();
+            let action = rule.action.clone();
             if let Action::Mirror(bs) = &action {
                 let live: Vec<Endpoint> = bs
                     .iter()

@@ -211,15 +211,18 @@ impl BrowserClient {
             q.reverse(); // pop from the back
             q
         };
+        let now = ctx.now();
+        let Some(p) = self.processes.get_mut(process) else {
+            return;
+        };
         if queue.is_empty() {
             // Misconfigured fixed object: idle this process rather than
             // spinning through empty "pages".
-            self.processes[process].active_fetch = None;
+            p.active_fetch = None;
             return;
         }
-        let p = &mut self.processes[process];
         p.queue = queue;
-        p.page_started = ctx.now();
+        p.page_started = now;
         self.next_object(ctx, process, 0, None);
     }
 
@@ -234,16 +237,26 @@ impl BrowserClient {
         attempt: u32,
         carry_started: Option<SimTime>,
     ) {
-        let Some(&object) = self.processes[process].queue.last() else {
+        let queued = self
+            .processes
+            .get(process)
+            .and_then(|p| p.queue.last().copied());
+        let Some(object) = queued else {
             // Page complete.
-            let started = self.processes[process].page_started;
+            let Some(p) = self.processes.get_mut(process) else {
+                return;
+            };
+            let started = p.page_started;
+            p.pages_done += 1;
+            let pages_done = p.pages_done;
             self.page_latencies
                 .record_time_ms(ctx.now().saturating_sub(started));
             self.pages_completed += 1;
-            self.processes[process].pages_done += 1;
             if let Some(max) = self.cfg.max_pages {
-                if self.processes[process].pages_done >= max {
-                    self.processes[process].active_fetch = None;
+                if pages_done >= max {
+                    if let Some(p) = self.processes.get_mut(process) {
+                        p.active_fetch = None;
+                    }
                     return;
                 }
             }
@@ -268,7 +281,9 @@ impl BrowserClient {
         };
         self.fetches.insert(id, fetch);
         self.by_conn.insert(conn, id);
-        self.processes[process].active_fetch = Some(id);
+        if let Some(p) = self.processes.get_mut(process) {
+            p.active_fetch = Some(id);
+        }
         ctx.set_timer(self.cfg.http_timeout, TimerToken::new(TIMEOUT_KIND).with_a(id));
         if let Some(stall) = self.cfg.stall_timeout {
             ctx.set_timer(stall, TimerToken::new(STALL_KIND).with_a(id));
@@ -304,7 +319,9 @@ impl BrowserClient {
                 self.request_latencies
                     .record_time_ms(ctx.now().saturating_sub(fetch.started));
                 self.stack.close(ctx, fetch.conn);
-                self.processes[process].queue.pop();
+                if let Some(p) = self.processes.get_mut(process) {
+                    p.queue.pop();
+                }
                 self.next_object(ctx, process, 0, None);
             }
             RequestOutcome::TimedOut | RequestOutcome::Reset | RequestOutcome::Stalled => {
@@ -314,7 +331,8 @@ impl BrowserClient {
                     RequestOutcome::Stalled => {
                         self.session_resets += 1;
                     }
-                    RequestOutcome::Ok => unreachable!(),
+                    // Excluded by the outer match arm.
+                    RequestOutcome::Ok => {}
                 }
                 self.stack.abort(ctx, fetch.conn);
                 if fetch.attempt < self.cfg.retries {
@@ -330,7 +348,9 @@ impl BrowserClient {
                     }
                     self.request_latencies
                         .record_time_ms(ctx.now().saturating_sub(fetch.started));
-                    self.processes[process].queue.pop();
+                    if let Some(p) = self.processes.get_mut(process) {
+                        p.queue.pop();
+                    }
                     self.next_object(ctx, process, 0, None);
                 }
             }
@@ -354,8 +374,10 @@ impl BrowserClient {
             if fetch.buf.len() < 19 || !fetch.buf.starts_with(b"SSLCERT:") {
                 return;
             }
-            let Some(len) = std::str::from_utf8(&fetch.buf[8..18])
-                .ok()
+            let Some(len) = fetch
+                .buf
+                .get(8..18)
+                .and_then(|d| std::str::from_utf8(d).ok())
                 .and_then(|d| d.parse::<usize>().ok())
             else {
                 return;
@@ -661,8 +683,11 @@ impl Node for RateClient {
         for ev in self.stack.on_packet(ctx, &pkt) {
             match ev {
                 TcpEvent::Connected(conn) => {
-                    if let Some(&fetch_id) = self.by_conn.get(&conn) {
-                        let fetch = &self.fetches[&fetch_id];
+                    if let Some((&fetch_id, fetch)) = self
+                        .by_conn
+                        .get(&conn)
+                        .and_then(|id| Some(id).zip(self.fetches.get(id)))
+                    {
                         let path = self.catalog.path_of(fetch.object).to_string();
                         let req = HttpRequest::get(path)
                             .with_header("Host", self.cfg.host.clone())

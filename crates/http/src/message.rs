@@ -191,7 +191,7 @@ fn header_end(buf: &[u8]) -> Option<usize> {
 /// send garbage).
 pub fn parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
     let end = header_end(buf)?;
-    let head = std::str::from_utf8(&buf[..end - 4]).ok()?;
+    let head = std::str::from_utf8(buf.get(..end - 4)?).ok()?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next()?;
     let mut parts = request_line.split(' ');
@@ -226,7 +226,7 @@ pub fn parse_request(buf: &[u8]) -> Option<(HttpRequest, usize)> {
 /// Returns `Some((response, bytes_consumed))` when complete.
 pub fn parse_response(buf: &[u8]) -> Option<(HttpResponse, usize)> {
     let end = header_end(buf)?;
-    let head = std::str::from_utf8(&buf[..end - 4]).ok()?;
+    let head = std::str::from_utf8(buf.get(..end - 4)?).ok()?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next()?;
     let mut parts = status_line.split(' ');
@@ -246,15 +246,13 @@ pub fn parse_response(buf: &[u8]) -> Option<(HttpResponse, usize)> {
             headers.push((n.to_string(), v.to_string()));
         }
     }
-    if buf.len() < end + content_length {
-        return None;
-    }
+    let body = buf.get(end..end + content_length)?;
     Some((
         HttpResponse {
             status,
             version,
             headers,
-            body: Bytes::copy_from_slice(&buf[end..end + content_length]),
+            body: Bytes::copy_from_slice(body),
         },
         end + content_length,
     ))

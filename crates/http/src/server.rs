@@ -199,13 +199,16 @@ impl OriginServer {
         if data.is_empty() {
             return;
         }
-        let buf = self.buffers.entry(conn).or_default();
-        buf.extend_from_slice(&data);
+        self.buffers.entry(conn).or_default().extend_from_slice(&data);
         // Keep-alive connections can carry several back-to-back requests.
-        while let Some((req, used)) =
-            parse_request(self.buffers.get(&conn).expect("present"))
-        {
-            let buf = self.buffers.get_mut(&conn).expect("present");
+        // Re-look the buffer up each round: handling a request may drop it.
+        loop {
+            let Some(buf) = self.buffers.get_mut(&conn) else {
+                return;
+            };
+            let Some((req, used)) = parse_request(buf) else {
+                return;
+            };
             let _ = buf.split_to(used);
             self.handle_request(ctx, conn, req);
         }

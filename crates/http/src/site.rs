@@ -91,6 +91,20 @@ pub struct SiteCatalog {
     by_path: HashMap<String, ObjectId>,
 }
 
+/// Fallback site for out-of-range indices: the total accessors on
+/// [`SiteCatalog`] return these instead of panicking on the packet path.
+static EMPTY_SITE: Site = Site {
+    host: String::new(),
+    objects: Vec::new(),
+    pages: Vec::new(),
+};
+
+/// Fallback page, paired with [`EMPTY_SITE`].
+static EMPTY_PAGE: Page = Page {
+    html: ObjectId { site: 0, object: 0 },
+    embedded: Vec::new(),
+};
+
 /// Median object size from the paper (46 KB).
 pub const MEDIAN_OBJECT_BYTES: usize = 46 * 1024;
 /// Smallest object size from the paper (1 KB).
@@ -159,9 +173,9 @@ impl SiteCatalog {
         self.sites.len()
     }
 
-    /// A site by index.
+    /// A site by index; an empty site for out-of-range indices.
     pub fn site(&self, i: usize) -> &Site {
-        &self.sites[i]
+        self.sites.get(i).unwrap_or(&EMPTY_SITE)
     }
 
     /// Total objects across all sites.
@@ -169,25 +183,35 @@ impl SiteCatalog {
         self.sites.iter().map(|s| s.objects.len()).sum()
     }
 
-    /// A page by site/page index.
+    /// A page by site index and page number (wrapped onto the site's
+    /// pages); an empty page for out-of-range site indices.
     pub fn page(&self, site: usize, page: usize) -> &Page {
-        &self.sites[site].pages[page % self.sites[site].pages.len()]
+        let s = self.site(site);
+        if s.pages.is_empty() {
+            return &EMPTY_PAGE;
+        }
+        s.pages.get(page % s.pages.len()).unwrap_or(&EMPTY_PAGE)
     }
 
     /// Resolves a URL path to an object.
     pub fn lookup(&self, path: &str) -> Option<(ObjectId, &Object)> {
         let id = *self.by_path.get(path)?;
-        Some((id, &self.sites[id.site].objects[id.object]))
+        let obj = self.sites.get(id.site)?.objects.get(id.object)?;
+        Some((id, obj))
     }
 
-    /// The URL path of an object.
+    /// The URL path of an object; `""` for a dangling id.
     pub fn path_of(&self, id: ObjectId) -> &str {
-        &self.sites[id.site].objects[id.object].path
+        self.object(id).map_or("", |o| o.path.as_str())
     }
 
-    /// The size of an object.
+    /// The size of an object; 0 for a dangling id.
     pub fn size_of(&self, id: ObjectId) -> usize {
-        self.sites[id.site].objects[id.object].size
+        self.object(id).map_or(0, |o| o.size)
+    }
+
+    fn object(&self, id: ObjectId) -> Option<&Object> {
+        self.sites.get(id.site)?.objects.get(id.object)
     }
 
     /// Median object size over the whole catalog (for sanity checks).

@@ -77,22 +77,17 @@ impl CtrlMsg {
         let tag = *b.first()?;
         match tag {
             1 => {
-                if b.len() < 15 {
-                    return None;
-                }
-                let vip = Addr::from_u32(u32::from_be_bytes(b[1..5].try_into().ok()?));
-                let version = u64::from_be_bytes(b[5..13].try_into().ok()?);
-                let n = u16::from_be_bytes([b[13], b[14]]) as usize;
+                let vip = Addr::from_u32(u32::from_be_bytes(bytes::array_at::<4>(b, 1)?));
+                let version = u64::from_be_bytes(bytes::array_at::<8>(b, 5)?);
+                let n = u16::from_be_bytes(bytes::array_at::<2>(b, 13)?) as usize;
                 if b.len() != 15 + 4 * n {
                     return None;
                 }
-                let instances = (0..n)
-                    .map(|i| {
-                        Addr::from_u32(u32::from_be_bytes(
-                            b[15 + 4 * i..19 + 4 * i].try_into().expect("length checked"),
-                        ))
-                    })
-                    .collect();
+                let mut instances = Vec::with_capacity(n);
+                for i in 0..n {
+                    let word = bytes::array_at::<4>(b, 15 + 4 * i)?;
+                    instances.push(Addr::from_u32(u32::from_be_bytes(word)));
+                }
                 Some(CtrlMsg::SetVipMap {
                     vip,
                     instances,
@@ -103,25 +98,20 @@ impl CtrlMsg {
                 if b.len() != 13 {
                     return None;
                 }
-                let vip = Addr::from_u32(u32::from_be_bytes(b[1..5].try_into().ok()?));
-                let version = u64::from_be_bytes(b[5..13].try_into().ok()?);
+                let vip = Addr::from_u32(u32::from_be_bytes(bytes::array_at::<4>(b, 1)?));
+                let version = u64::from_be_bytes(bytes::array_at::<8>(b, 5)?);
                 Some(CtrlMsg::RemoveVip { vip, version })
             }
             3 => {
-                if b.len() < 3 {
-                    return None;
-                }
-                let n = u16::from_be_bytes([b[1], b[2]]) as usize;
+                let n = u16::from_be_bytes(bytes::array_at::<2>(b, 1)?) as usize;
                 if b.len() != 3 + 4 * n {
                     return None;
                 }
-                let muxes = (0..n)
-                    .map(|i| {
-                        Addr::from_u32(u32::from_be_bytes(
-                            b[3 + 4 * i..7 + 4 * i].try_into().expect("length checked"),
-                        ))
-                    })
-                    .collect();
+                let mut muxes = Vec::with_capacity(n);
+                for i in 0..n {
+                    let word = bytes::array_at::<4>(b, 3 + 4 * i)?;
+                    muxes.push(Addr::from_u32(u32::from_be_bytes(word)));
+                }
                 Some(CtrlMsg::SetMuxes { muxes })
             }
             _ => None,

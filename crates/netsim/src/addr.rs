@@ -92,15 +92,16 @@ impl Endpoint {
 
     /// Encodes the endpoint to 6 bytes (network byte order).
     pub fn to_bytes(self) -> [u8; 6] {
-        let a = self.addr.as_u32().to_be_bytes();
-        let p = self.port.to_be_bytes();
-        [a[0], a[1], a[2], a[3], p[0], p[1]]
+        let [a0, a1, a2, a3] = self.addr.as_u32().to_be_bytes();
+        let [p0, p1] = self.port.to_be_bytes();
+        [a0, a1, a2, a3, p0, p1]
     }
 
     /// Decodes an endpoint from 6 bytes produced by [`Endpoint::to_bytes`].
     pub fn from_bytes(b: &[u8; 6]) -> Self {
-        let addr = Addr::from_u32(u32::from_be_bytes([b[0], b[1], b[2], b[3]]));
-        let port = u16::from_be_bytes([b[4], b[5]]);
+        let [a0, a1, a2, a3, p0, p1] = *b;
+        let addr = Addr::from_u32(u32::from_be_bytes([a0, a1, a2, a3]));
+        let port = u16::from_be_bytes([p0, p1]);
         Endpoint { addr, port }
     }
 }

@@ -431,32 +431,41 @@ impl Engine {
         self.core.push(t, EventKind::Control(Box::new(f)));
     }
 
+    /// Immutable, downcast access to a node's concrete type; `None` when
+    /// the id is unknown, the node is being dispatched, or the concrete
+    /// type differs.
+    pub fn try_node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
+        let node = self.nodes.get(id.0)?.as_deref()?;
+        (node as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable, downcast access to a node's concrete type; `None` under
+    /// the same conditions as [`Engine::try_node_ref`].
+    pub fn try_node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node = self.nodes.get_mut(id.0)?.as_deref_mut()?;
+        (node as &mut dyn Any).downcast_mut::<T>()
+    }
+
     /// Immutable, downcast access to a node's concrete type.
     ///
     /// # Panics
     ///
-    /// Panics if the node is of a different concrete type.
+    /// Panics if the node is absent or of a different concrete type; test
+    /// and scenario code only. Hot paths use [`Engine::try_node_ref`].
     pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
-        let node = self.nodes[id.0]
-            .as_deref()
-            .expect("node is being dispatched");
-        (node as &dyn Any)
-            .downcast_ref::<T>()
-            .expect("node type mismatch")
+        self.try_node_ref(id)
+            .expect("node is absent or of a different concrete type")
     }
 
     /// Mutable, downcast access to a node's concrete type.
     ///
     /// # Panics
     ///
-    /// Panics if the node is of a different concrete type.
+    /// Panics if the node is absent or of a different concrete type; test
+    /// and scenario code only. Hot paths use [`Engine::try_node_mut`].
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
-        let node = self.nodes[id.0]
-            .as_deref_mut()
-            .expect("node is being dispatched");
-        (node as &mut dyn Any)
-            .downcast_mut::<T>()
-            .expect("node type mismatch")
+        self.try_node_mut(id)
+            .expect("node is absent or of a different concrete type")
     }
 
     /// Runs `f` against a node's concrete type with a live [`Ctx`], so

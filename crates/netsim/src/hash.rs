@@ -36,8 +36,10 @@ pub fn hash_bytes(seed: u64, data: &[u8]) -> u64 {
 /// Hashes two u64 operands (convenience over [`hash_bytes`]).
 pub fn hash_pair(seed: u64, a: u64, b: u64) -> u64 {
     let mut buf = [0u8; 16];
-    buf[..8].copy_from_slice(&a.to_be_bytes());
-    buf[8..].copy_from_slice(&b.to_be_bytes());
+    let words = a.to_be_bytes().into_iter().chain(b.to_be_bytes());
+    for (dst, src) in buf.iter_mut().zip(words) {
+        *dst = src;
+    }
     hash_bytes(seed, &buf)
 }
 

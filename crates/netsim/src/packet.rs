@@ -93,16 +93,10 @@ impl Packet {
     ///
     /// Returns `None` when the buffer is malformed or truncated.
     pub fn decode(mut b: Bytes) -> Option<Packet> {
-        if b.len() < 17 {
-            return None;
-        }
-        let mut six = [0u8; 6];
-        six.copy_from_slice(&b[0..6]);
-        let src = Endpoint::from_bytes(&six);
-        six.copy_from_slice(&b[6..12]);
-        let dst = Endpoint::from_bytes(&six);
-        let protocol = b[12];
-        let len = u32::from_be_bytes([b[13], b[14], b[15], b[16]]) as usize;
+        let src = Endpoint::from_bytes(&bytes::array_at::<6>(&b, 0)?);
+        let dst = Endpoint::from_bytes(&bytes::array_at::<6>(&b, 6)?);
+        let protocol = *b.get(12)?;
+        let len = u32::from_be_bytes(bytes::array_at::<4>(&b, 13)?) as usize;
         if b.len() < 17 + len {
             return None;
         }

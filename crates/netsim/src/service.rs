@@ -65,8 +65,11 @@ impl ServiceQueue {
     /// selected by `affinity` (e.g. a flow hash, so packets of one
     /// connection stay ordered on one core). Returns its completion time.
     pub fn submit(&mut self, now: SimTime, service: SimTime, affinity: u64) -> SimTime {
-        let idx = (affinity % self.cores.len() as u64) as usize;
-        let core = &mut self.cores[idx];
+        let idx = (affinity % self.cores.len().max(1) as u64) as usize;
+        let Some(core) = self.cores.get_mut(idx) else {
+            // Unreachable: the constructor guarantees at least one core.
+            return now + service;
+        };
         let start = now.max(core.busy_until);
         let done = start + service;
         core.busy_until = done;
@@ -91,8 +94,10 @@ impl ServiceQueue {
     /// Instantaneous queueing delay a job with `affinity` would see if
     /// submitted at `now` (0 when the core is idle).
     pub fn backlog(&self, now: SimTime, affinity: u64) -> SimTime {
-        let idx = (affinity % self.cores.len() as u64) as usize;
-        self.cores[idx].busy_until.saturating_sub(now)
+        let idx = (affinity % self.cores.len().max(1) as u64) as usize;
+        self.cores
+            .get(idx)
+            .map_or(SimTime::ZERO, |c| c.busy_until.saturating_sub(now))
     }
 
     /// Utilisation since the last [`ServiceQueue::reset_window`] call, in

@@ -146,7 +146,14 @@ impl Topology {
         wire_len: usize,
         rng: &mut Rng,
     ) -> Option<SimTime> {
-        let spec = self.links[from.index()][to.index()];
+        // Zone::index() is always < Zone::COUNT; the fallback is a
+        // zero-latency reliable link and cannot actually be hit.
+        let spec = self
+            .links
+            .get(from.index())
+            .and_then(|row| row.get(to.index()))
+            .copied()
+            .unwrap_or(LinkSpec::with_latency(SimTime::ZERO));
         if spec.loss > 0.0 && rng.gen_f64() < spec.loss {
             return None;
         }
@@ -155,15 +162,18 @@ impl Topology {
         } else {
             SimTime::ZERO
         };
-        let start = match spec.bandwidth_bps {
-            Some(bps) => {
-                let busy = &mut self.busy_until[from.index()][to.index()];
+        let busy_slot = self
+            .busy_until
+            .get_mut(from.index())
+            .and_then(|row| row.get_mut(to.index()));
+        let start = match (spec.bandwidth_bps, busy_slot) {
+            (Some(bps), Some(busy)) => {
                 let start = now.max(*busy);
                 let tx_us = (wire_len as u64 * 1_000_000).div_ceil(bps);
                 *busy = start + SimTime::from_micros(tx_us);
                 *busy
             }
-            None => now,
+            _ => now,
         };
         Some(start + spec.latency + jitter)
     }

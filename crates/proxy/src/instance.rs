@@ -146,7 +146,7 @@ impl ProxyInstance {
         }
         self.charge(ctx.now(), conn, SimTime::ZERO);
         let idx = self.session_of_client(conn, vip);
-        let Some(session) = self.table[idx].as_mut() else {
+        let Some(session) = self.table.get_mut(idx).and_then(|s| s.as_mut()) else {
             return;
         };
         match session.server_conn {
@@ -169,7 +169,7 @@ impl ProxyInstance {
                 self.requests += 1;
                 let conn_cpu = self.cfg.per_conn_cpu;
                 self.charge(ctx.now(), conn, conn_cpu);
-                let Some(session) = self.table[idx].as_mut() else {
+                let Some(session) = self.table.get_mut(idx).and_then(|s| s.as_mut()) else {
                     return;
                 };
                 // Proxy-style: the backend connection uses the proxy's OWN
@@ -188,7 +188,7 @@ impl ProxyInstance {
         let Some(&idx) = self.by_server_conn.get(&server_conn) else {
             return;
         };
-        let Some(session) = self.table[idx].as_mut() else {
+        let Some(session) = self.table.get_mut(idx).and_then(|s| s.as_mut()) else {
             return;
         };
         // Forward the buffered request.
@@ -205,7 +205,7 @@ impl ProxyInstance {
         let Some(&idx) = self.by_server_conn.get(&server_conn) else {
             return;
         };
-        let Some(session) = self.table[idx].as_ref() else {
+        let Some(session) = self.table.get(idx).and_then(|s| s.as_ref()) else {
             return;
         };
         self.spliced_chunks += 1;
@@ -222,7 +222,7 @@ impl ProxyInstance {
         let Some(idx) = idx else {
             return;
         };
-        let Some(session) = self.table[idx].as_mut() else {
+        let Some(session) = self.table.get_mut(idx).and_then(|s| s.as_mut()) else {
             return;
         };
         if from_client {
@@ -235,12 +235,15 @@ impl ProxyInstance {
             let client_conn = session.client_conn;
             self.stack.close(ctx, client_conn);
         }
-        let done = {
-            let s = self.table[idx].as_ref().expect("present");
-            s.client_closed && s.server_closed
-        };
+        let done = self
+            .table
+            .get(idx)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|s| s.client_closed && s.server_closed);
         if done {
-            let s = self.table[idx].take().expect("present");
+            let Some(s) = self.table.get_mut(idx).and_then(|s| s.take()) else {
+                return;
+            };
             self.sessions.remove(&s.client_conn);
             if let Some(sc) = s.server_conn {
                 self.by_server_conn.remove(&sc);
@@ -269,7 +272,8 @@ impl ProxyInstance {
                         let vip = self
                             .sessions
                             .get(&conn)
-                            .and_then(|&i| self.table[i].as_ref())
+                            .and_then(|&i| self.table.get(i))
+                            .and_then(|s| s.as_ref())
                             .map(|s| s.vip)
                             .or(inner_dst);
                         if let Some(vip) = vip {

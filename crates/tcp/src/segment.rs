@@ -180,20 +180,17 @@ impl Segment {
 
     /// Decodes a segment; `None` on truncation or length mismatch.
     pub fn decode(b: Bytes) -> Option<Segment> {
-        if b.len() < SEGMENT_HEADER_LEN {
-            return None;
-        }
-        let len = u32::from_be_bytes([b[17], b[18], b[19], b[20]]) as usize;
+        let len = u32::from_be_bytes(bytes::array_at::<4>(&b, 17)?) as usize;
         if b.len() != SEGMENT_HEADER_LEN + len {
             return None;
         }
         Some(Segment {
-            src_port: u16::from_be_bytes([b[0], b[1]]),
-            dst_port: u16::from_be_bytes([b[2], b[3]]),
-            seq: SeqNum::new(u32::from_be_bytes([b[4], b[5], b[6], b[7]])),
-            ack: SeqNum::new(u32::from_be_bytes([b[8], b[9], b[10], b[11]])),
-            flags: Flags::from_byte(b[12]),
-            window: u32::from_be_bytes([b[13], b[14], b[15], b[16]]),
+            src_port: u16::from_be_bytes(bytes::array_at::<2>(&b, 0)?),
+            dst_port: u16::from_be_bytes(bytes::array_at::<2>(&b, 2)?),
+            seq: SeqNum::new(u32::from_be_bytes(bytes::array_at::<4>(&b, 4)?)),
+            ack: SeqNum::new(u32::from_be_bytes(bytes::array_at::<4>(&b, 8)?)),
+            flags: Flags::from_byte(*b.get(12)?),
+            window: u32::from_be_bytes(bytes::array_at::<4>(&b, 13)?),
             payload: b.slice(SEGMENT_HEADER_LEN..),
         })
     }

@@ -257,7 +257,9 @@ impl TcpStack {
                 return events;
             }
         };
-        let slot = self.conns.get_mut(&id).expect("flow maps to live conn");
+        let Some(slot) = self.conns.get_mut(&id) else {
+            return events;
+        };
         let out = slot.sock.on_segment(&seg, now);
         let (local, remote) = (slot.sock.local(), slot.sock.remote());
         for s in out {
@@ -295,7 +297,9 @@ impl TcpStack {
 
     /// Emits edge-triggered events by comparing current vs. reported state.
     fn emit_events(&mut self, id: ConnId, events: &mut Vec<TcpEvent>) {
-        let slot = self.conns.get_mut(&id).expect("conn exists");
+        let Some(slot) = self.conns.get_mut(&id) else {
+            return;
+        };
         let state = slot.sock.state();
         if slot.reported != state {
             match state {

@@ -217,7 +217,9 @@ impl StoreClient {
             return Vec::new();
         }
         op.done = true;
-        let op = self.pending.remove(&resp.req_id).expect("present");
+        let Some(op) = self.pending.remove(&resp.req_id) else {
+            return Vec::new();
+        };
         vec![self.finish(op, now)]
     }
 

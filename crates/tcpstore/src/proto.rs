@@ -76,13 +76,10 @@ impl StoreRequest {
 
     /// Parses a request; `None` on malformed input.
     pub fn decode(b: &Bytes) -> Option<StoreRequest> {
-        if b.len() < 15 {
-            return None;
-        }
-        let op = StoreOp::from_byte(b[0])?;
-        let req_id = u64::from_be_bytes(b[1..9].try_into().ok()?);
-        let key_len = u16::from_be_bytes([b[9], b[10]]) as usize;
-        let val_len = u32::from_be_bytes([b[11], b[12], b[13], b[14]]) as usize;
+        let op = StoreOp::from_byte(*b.get(0)?)?;
+        let req_id = u64::from_be_bytes(bytes::array_at::<8>(b, 1)?);
+        let key_len = u16::from_be_bytes(bytes::array_at::<2>(b, 9)?) as usize;
+        let val_len = u32::from_be_bytes(bytes::array_at::<4>(b, 11)?) as usize;
         if b.len() != 15 + key_len + val_len {
             return None;
         }
@@ -130,17 +127,18 @@ impl StoreResponse {
 
     /// Parses a response; `None` on malformed input or a request byte.
     pub fn decode(b: &Bytes) -> Option<StoreResponse> {
-        if b.len() < 14 || b[0] & 0x80 == 0 {
+        let tag = *b.get(0)?;
+        if tag & 0x80 == 0 {
             return None;
         }
-        let op = StoreOp::from_byte(b[0] & 0x7F)?;
-        let req_id = u64::from_be_bytes(b[1..9].try_into().ok()?);
-        let status = match b[9] {
+        let op = StoreOp::from_byte(tag & 0x7F)?;
+        let req_id = u64::from_be_bytes(bytes::array_at::<8>(b, 1)?);
+        let status = match *b.get(9)? {
             0 => StoreStatus::Ok,
             1 => StoreStatus::Miss,
             _ => return None,
         };
-        let val_len = u32::from_be_bytes([b[10], b[11], b[12], b[13]]) as usize;
+        let val_len = u32::from_be_bytes(bytes::array_at::<4>(b, 10)?) as usize;
         if b.len() != 14 + val_len {
             return None;
         }

@@ -66,8 +66,13 @@ impl HashRing {
 
     /// The server owning `digest`'s position.
     fn successor(&self, digest: u64) -> Addr {
+        // partition_point yields idx <= len; len wraps to the ring's start.
+        // The constructor guarantees at least one point.
         let idx = self.points.partition_point(|&(p, _)| p < digest);
-        self.points[idx % self.points.len()].1
+        self.points
+            .get(idx)
+            .or_else(|| self.points.first())
+            .map_or(Addr::UNSPECIFIED, |&(_, s)| s)
     }
 
     /// Selects `k` distinct replica servers for `key` using `k` seeded
@@ -86,7 +91,9 @@ impl HashRing {
                 let mut steps = 0;
                 while out.contains(&candidate) && steps < self.points.len() {
                     idx += 1;
-                    candidate = self.points[idx % self.points.len()].1;
+                    if let Some(&(_, next)) = self.points.get(idx % self.points.len()) {
+                        candidate = next;
+                    }
                     steps += 1;
                 }
             }

@@ -248,6 +248,44 @@ mod tests {
     }
 
     #[test]
+    fn line_comment_marker_inside_string_is_not_a_comment() {
+        let lines = lex("let url = \"http://example.test\"; x.unwrap();\n");
+        assert!(!lines[0].code.contains("http"));
+        assert!(lines[0].code.contains(".unwrap()"), "code after the string survives");
+    }
+
+    #[test]
+    fn nested_block_comments_strip_to_the_outer_close() {
+        let lines = lex("a /* one /* two */ HashMap */ b.unwrap()\n");
+        assert!(!lines[0].code.contains("HashMap"), "inner close must not end the comment");
+        assert!(lines[0].code.contains("b.unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments_across_lines() {
+        let lines = lex("/* outer /* inner\n unwrap() */\n still comment */ done\n");
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(!lines[2].code.contains("still"));
+        assert!(lines[2].code.contains("done"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_spans_lines() {
+        let src = "let q = r##\"one \"# not the end\nunwrap() two\"##; tail();\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("one"));
+        assert!(!lines[1].code.contains("unwrap"), "\"# must not close an r## string");
+        assert!(lines[1].code.contains("tail()"));
+    }
+
+    #[test]
+    fn raw_string_containing_comment_markers() {
+        let lines = lex("let p = r\"// not a comment /*\"; y.expect(\"m\")\n");
+        assert!(!lines[0].code.contains("not a comment"));
+        assert!(lines[0].code.contains(".expect("), "code after the raw string survives");
+    }
+
+    #[test]
     fn char_literals_do_not_open_strings() {
         let lines = lex("let q = '\"'; let h = HashMap::new();\n");
         assert!(lines[0].code.contains("HashMap"));

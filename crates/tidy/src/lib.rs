@@ -1,30 +1,41 @@
 //! `yoda-tidy`: the in-tree static-analysis pass.
 //!
-//! Modeled on rustc's `tidy` tool: a zero-dependency scanner that walks
-//! the whole workspace and enforces project invariants as machine-checked
-//! rules. It runs two ways — `cargo run -p yoda-tidy` for humans/CI, and
-//! as a `#[test]` (see `tests/gate.rs`) so `cargo test -q` fails on any
-//! new violation.
+//! Modeled on rustc's `tidy` tool, grown into a call-graph-aware
+//! analyzer: a zero-dependency scanner that walks the whole workspace,
+//! parses every `fn` item, assembles a conservative call graph, and
+//! propagates two taints along it. It runs two ways — `cargo run -p
+//! yoda-tidy` for humans/CI (`--json` for machines), and as a `#[test]`
+//! (see `tests/gate.rs`) so `cargo test -q` fails on any new violation.
+//!
+//! # Taints
+//!
+//! * **hot-taint** seeds at every packet/timer handler (any non-test
+//!   function named `on_packet`, `on_timer`, or `on_tick`, plus the
+//!   engine dispatch loop `Engine::step`) and flows through every
+//!   function transitively callable from one. Hot functions must not
+//!   `unwrap`/`expect`/`panic!` or index slices: a malformed or unlucky
+//!   packet must be dropped, never crash the data plane (PAPER.md §5–6).
+//! * **sim-taint** seeds at `Engine::step` and flows the same way; a
+//!   tainted function inside a simulation crate must not read wall
+//!   clocks, the environment, ambient RNGs, or iterate `HashMap`/
+//!   `HashSet` — figures must be a pure function of the seed.
+//!
+//! Every taint violation reports its *taint path* (root → … → offending
+//! function) so the fix target is obvious. The call graph is name-based
+//! and deliberately over-approximate; see `callgraph` for the heuristics
+//! and DESIGN.md "Static analysis" for the soundness caveats.
 //!
 //! # Rule families
 //!
-//! * **determinism** — simulation results must be a pure function of the
-//!   seed. Wall-clock reads (`Instant::now`, `SystemTime`), environment
-//!   reads, ambient RNGs (`thread_rng`), the registry `rand` crate, and
-//!   `HashMap`/`HashSet` in simulation crates (iteration order is
-//!   ASLR-dependent) are forbidden. Use `SimTime`, an explicit seed,
-//!   `yoda_netsim::rng::Rng`, and `BTreeMap`/`BTreeSet`.
-//! * **panic-safety** — packet hot paths (`netsim::engine`,
-//!   `tcp::socket`, `core::instance`, `l4lb::mux`) must not
-//!   `unwrap`/`expect`/`panic!` or index slices; a malformed packet must
-//!   be dropped, not crash the process.
+//! * **panic-hotpath / panic-hotpath-index** — the hot-taint rules.
+//! * **sim-taint-\*** — the sim-taint rules; a determinism violation in
+//!   an unreached simulation-crate function still fires as the lexical
+//!   **determinism-\*** rule (defense in depth).
 //! * **seq-hygiene** — sequence-number arithmetic must go through
-//!   `SeqNum`'s wrapping helpers; raw `+`/`-` on `.raw()` values or `as
-//!   u32` casts into sequence space bypass the 2³² wrap handling.
+//!   `SeqNum`'s wrapping helpers.
 //! * **workspace-hygiene** — every crate denies warnings, library code
 //!   has no debug prints, TODOs carry an issue tag, and every manifest
-//!   dependency is an in-tree `path` dependency (hermetic, no-network
-//!   build).
+//!   dependency is an in-tree `path` dependency (hermetic build).
 //!
 //! # Allowlist
 //!
@@ -37,13 +48,18 @@
 
 #![deny(warnings)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use callgraph::CallGraph;
 use lexer::{lex, LexedLine};
+use parser::parse_fns;
 
 /// Crates whose event handling feeds the deterministic simulation; map
 /// iteration order inside them can leak into event scheduling.
@@ -56,23 +72,30 @@ const SIM_CRATES: &[&str] = &[
     "crates/l4lb/src/",
 ];
 
-/// Per-packet hot paths where a panic means dropping the whole data plane
-/// rather than one malformed packet.
-const HOT_PATHS: &[&str] = &[
-    "crates/netsim/src/engine.rs",
-    "crates/tcp/src/socket.rs",
-    "crates/core/src/instance.rs",
-    "crates/l4lb/src/mux.rs",
-];
+/// Function names that root the hot closure: the per-packet and
+/// per-timer handlers the engine dispatches into. (`on_tick` is listed
+/// for forward compatibility; the instance probe tick currently runs
+/// from `on_timer`.)
+const HOT_ROOT_NAMES: &[&str] = &["on_packet", "on_timer", "on_tick"];
 
 /// The measurement harness: the one place allowed to read wall clocks,
 /// process args, and print (it measures the host, not the simulation).
+/// Its `Node` impls are excluded from the call graph and the taints.
 const HARNESS_PREFIX: &str = "crates/bench/";
+
+/// Taint evidence attached to a call-graph-derived violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Taint {
+    /// `"hot"` or `"sim"`.
+    pub kind: &'static str,
+    /// Labels from the taint root to the offending function.
+    pub path: Vec<String>,
+}
 
 /// One rule violation at a specific source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier, e.g. `determinism-hash-collections`.
+    /// Rule identifier, e.g. `sim-taint-hash-collections`.
     pub rule: &'static str,
     /// Repo-relative path with forward slashes.
     pub path: String,
@@ -80,6 +103,9 @@ pub struct Violation {
     pub line: usize,
     /// Trimmed source line.
     pub content: String,
+    /// Why the line is subject to the rule, when derived from the call
+    /// graph rather than the file's location.
+    pub taint: Option<Taint>,
 }
 
 impl fmt::Display for Violation {
@@ -88,8 +114,25 @@ impl fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}",
             self.path, self.line, self.rule, self.content
-        )
+        )?;
+        if let Some(t) = &self.taint {
+            write!(f, "\n      {} path: {}", t.kind, t.path.join(" -> "))?;
+        }
+        Ok(())
     }
+}
+
+/// Sizes of the analysis, for the JSON report and sanity checks.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Rust files scanned.
+    pub files: usize,
+    /// Non-test functions in the call graph.
+    pub functions: usize,
+    /// Functions in the hot closure.
+    pub hot_functions: usize,
+    /// Functions in the sim closure that live in simulation crates.
+    pub sim_functions: usize,
 }
 
 /// Outcome of a tidy run: surviving violations plus allowlist problems.
@@ -100,6 +143,8 @@ pub struct Report {
     /// Problems with the allowlist itself (stale entries, missing
     /// justifications, unparsable lines).
     pub allowlist_errors: Vec<String>,
+    /// Analysis sizes.
+    pub stats: Stats,
 }
 
 impl Report {
@@ -109,32 +154,34 @@ impl Report {
     }
 }
 
-/// Locates the workspace root from the tidy crate's own manifest dir.
-pub fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("tidy crate lives two levels below the workspace root")
-        .to_path_buf()
+/// Locates the workspace root by walking up from the tidy crate's
+/// manifest dir to the first directory holding a `Cargo.lock`.
+pub fn workspace_root() -> Result<PathBuf, String> {
+    let start = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for dir in start.ancestors() {
+        if dir.join("Cargo.lock").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+    }
+    Err(format!(
+        "no Cargo.lock in any directory above {}",
+        start.display()
+    ))
 }
 
 /// Runs every rule over the workspace rooted at `root`.
 pub fn run(root: &Path) -> Report {
-    let mut violations = Vec::new();
-
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in rust_files(root) {
         let rel = rel_path(root, &path);
-        let Ok(source) = fs::read_to_string(&path) else {
+        let Ok(text) = fs::read_to_string(&path) else {
             continue;
         };
-        let lines = lex(&source);
-        check_determinism(&rel, &lines, &mut violations);
-        check_panic_safety(&rel, &lines, &mut violations);
-        check_seq_hygiene(&rel, &lines, &mut violations);
-        check_debug_prints(&rel, &lines, &mut violations);
-        check_todo_tags(&rel, &lines, &mut violations);
-        check_deny_warnings(&rel, &lines, &mut violations);
+        sources.push((rel, text));
     }
+
+    let (mut violations, stats) = analyze(&sources);
+
     for path in manifest_files(root) {
         let rel = rel_path(root, &path);
         let Ok(source) = fs::read_to_string(&path) else {
@@ -177,17 +224,171 @@ pub fn run(root: &Path) -> Report {
     Report {
         violations: surviving,
         allowlist_errors: errors,
+        stats,
+    }
+}
+
+/// Runs the source-level analysis (everything except the manifest rule
+/// and the allowlist) over in-memory `(repo-relative-path, source)`
+/// pairs. Public so tests can drive the analyzer over fixture
+/// mini-workspaces without touching the disk.
+pub fn analyze(sources: &[(String, String)]) -> (Vec<Violation>, Stats) {
+    let mut violations = Vec::new();
+
+    let lexed: Vec<(String, Vec<LexedLine>)> = sources
+        .iter()
+        .map(|(rel, text)| (rel.clone(), lex(text)))
+        .collect();
+
+    // Lexical (per-file) rules.
+    for (rel, lines) in &lexed {
+        check_determinism(rel, lines, &mut violations);
+        check_seq_hygiene(rel, lines, &mut violations);
+        check_debug_prints(rel, lines, &mut violations);
+        check_todo_tags(rel, lines, &mut violations);
+        check_deny_warnings(rel, lines, &mut violations);
+    }
+
+    // Call-graph rules. Only library code enters the graph: harness,
+    // integration tests, benches, and examples cannot sit on a
+    // simulated packet path.
+    let parsed: Vec<(String, Vec<parser::FnItem>)> = lexed
+        .iter()
+        .filter(|(rel, _)| in_call_graph(rel))
+        .map(|(rel, lines)| (rel.clone(), parse_fns(lines)))
+        .collect();
+    let graph = CallGraph::build(&parsed);
+    let by_rel: BTreeMap<&str, &[LexedLine]> = lexed
+        .iter()
+        .map(|(rel, lines)| (rel.as_str(), lines.as_slice()))
+        .collect();
+
+    let hot_roots = hot_roots(&graph);
+    let hot = graph.reach(&hot_roots);
+    let sim_roots = dispatch_roots(&graph);
+    let sim = graph.reach(&sim_roots);
+
+    // hot-taint: no panics or indexing anywhere in the hot closure.
+    for (&idx, _) in &hot {
+        let f = &graph.fns[idx];
+        let Some(lines) = by_rel.get(f.file.as_str()) else {
+            continue;
+        };
+        let taint = Taint {
+            kind: "hot",
+            path: graph.path_to(&hot, idx),
+        };
+        for l in lines
+            .iter()
+            .filter(|l| f.start_line <= l.number && l.number <= f.end_line)
+        {
+            if l.in_test || graph.fn_at(&f.file, l.number) != Some(idx) {
+                continue;
+            }
+            for pat in [
+                ".unwrap()",
+                ".expect(",
+                "panic!(",
+                "unreachable!(",
+                "todo!(",
+                "unimplemented!(",
+                ".unwrap_err()",
+            ] {
+                if l.code.contains(pat) {
+                    push_taint(&mut violations, "panic-hotpath", &f.file, l, &taint);
+                }
+            }
+            if has_index_expr(&l.code) {
+                push_taint(&mut violations, "panic-hotpath-index", &f.file, l, &taint);
+            }
+        }
+    }
+
+    // sim-taint: upgrade lexical determinism violations whose line sits
+    // inside a sim-reachable function of a simulation crate, attaching
+    // the taint path. Unreached code keeps the plain determinism rule.
+    for v in &mut violations {
+        let Some(sim_rule) = sim_rule_for(v.rule) else {
+            continue;
+        };
+        if !SIM_CRATES.iter().any(|p| v.path.starts_with(p)) {
+            continue;
+        }
+        if let Some(idx) = graph.fn_at(&v.path, v.line) {
+            if sim.contains_key(&idx) {
+                v.rule = sim_rule;
+                v.taint = Some(Taint {
+                    kind: "sim",
+                    path: graph.path_to(&sim, idx),
+                });
+            }
+        }
+    }
+
+    let stats = Stats {
+        files: sources.len(),
+        functions: graph.fns.len(),
+        hot_functions: hot.len(),
+        sim_functions: sim
+            .keys()
+            .filter(|&&i| {
+                SIM_CRATES
+                    .iter()
+                    .any(|p| graph.fns[i].file.starts_with(p))
+            })
+            .count(),
+    };
+    (violations, stats)
+}
+
+/// Whether a file's functions participate in the call graph.
+fn in_call_graph(rel: &str) -> bool {
+    let lib_code =
+        rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/"));
+    lib_code && !rel.starts_with(HARNESS_PREFIX)
+}
+
+/// Seed set for the hot closure: every handler impl plus the dispatch
+/// loop itself (the engine is per-packet code too).
+fn hot_roots(graph: &CallGraph) -> Vec<usize> {
+    let mut roots = Vec::new();
+    for name in HOT_ROOT_NAMES {
+        roots.extend(graph.find(name));
+    }
+    roots.extend(dispatch_roots(graph));
+    roots
+}
+
+/// The engine dispatch loop: `Engine::step`.
+fn dispatch_roots(graph: &CallGraph) -> Vec<usize> {
+    graph
+        .find("step")
+        .into_iter()
+        .filter(|&i| graph.fns[i].self_ty.as_deref() == Some("Engine"))
+        .collect()
+}
+
+/// Maps a lexical determinism rule to its taint-path-carrying upgrade.
+fn sim_rule_for(rule: &str) -> Option<&'static str> {
+    match rule {
+        "determinism-wall-clock" => Some("sim-taint-wall-clock"),
+        "determinism-env-read" => Some("sim-taint-env-read"),
+        "determinism-ambient-rng" => Some("sim-taint-ambient-rng"),
+        "determinism-hash-collections" => Some("sim-taint-hash-collections"),
+        _ => None,
     }
 }
 
 // ---------------------------------------------------------------------------
-// Rules
+// Lexical rules
 // ---------------------------------------------------------------------------
 
 /// determinism-*: no wall clock, env reads, ambient RNG, registry rand, or
 /// hash-order collections in simulation code.
 fn check_determinism(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>) {
-    let in_harness = rel.starts_with(HARNESS_PREFIX);
+    // The tidy CLI is host tooling like the bench harness: it reads
+    // process args and never touches the simulation.
+    let in_harness = rel.starts_with(HARNESS_PREFIX) || rel.starts_with("crates/tidy/");
     let in_sim_crate = SIM_CRATES.iter().any(|p| rel.starts_with(p));
     for l in lines {
         if !in_harness {
@@ -209,33 +410,6 @@ fn check_determinism(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>) {
         }
         if in_sim_crate && (l.code.contains("HashMap") || l.code.contains("HashSet")) {
             push(out, "determinism-hash-collections", rel, l);
-        }
-    }
-}
-
-/// panic-hotpath: no unwrap/expect/panic/indexing on per-packet paths.
-fn check_panic_safety(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>) {
-    if !HOT_PATHS.contains(&rel) {
-        return;
-    }
-    for l in lines {
-        if l.in_test {
-            continue;
-        }
-        for pat in [
-            ".unwrap()",
-            ".expect(",
-            "panic!(",
-            "unreachable!(",
-            "todo!(",
-            "unimplemented!(",
-        ] {
-            if l.code.contains(pat) {
-                push(out, "panic-hotpath", rel, l);
-            }
-        }
-        if has_index_expr(&l.code) {
-            push(out, "panic-hotpath-index", rel, l);
         }
     }
 }
@@ -363,6 +537,7 @@ fn check_deny_warnings(rel: &str, lines: &[LexedLine], out: &mut Vec<Violation>)
             path: rel.to_string(),
             line: 1,
             content: "crate root lacks #![deny(warnings)]".to_string(),
+            taint: None,
         });
     }
 }
@@ -388,6 +563,7 @@ fn check_hermetic_manifest(rel: &str, source: &str, out: &mut Vec<Violation>) {
                 path: rel.to_string(),
                 line: idx + 1,
                 content: line.to_string(),
+                taint: None,
             });
         }
     }
@@ -399,7 +575,95 @@ fn push(out: &mut Vec<Violation>, rule: &'static str, rel: &str, l: &LexedLine) 
         path: rel.to_string(),
         line: l.number,
         content: l.raw.trim().to_string(),
+        taint: None,
     });
+}
+
+fn push_taint(
+    out: &mut Vec<Violation>,
+    rule: &'static str,
+    rel: &str,
+    l: &LexedLine,
+    taint: &Taint,
+) {
+    out.push(Violation {
+        rule,
+        path: rel.to_string(),
+        line: l.number,
+        content: l.raw.trim().to_string(),
+        taint: Some(taint.clone()),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// JSON output
+// ---------------------------------------------------------------------------
+
+/// Serializes a report as JSON (hand-rolled: the build is hermetic, no
+/// serde). One violation object per line so shell tooling can count with
+/// `grep -c '"rule"'`.
+pub fn to_json(report: &Report) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"summary\": {{\"violations\": {}, \"allowlist_errors\": {}, \"files\": {}, \"functions\": {}, \"hot_functions\": {}, \"sim_functions\": {}}},\n",
+        report.violations.len(),
+        report.allowlist_errors.len(),
+        report.stats.files,
+        report.stats.functions,
+        report.stats.hot_functions,
+        report.stats.sim_functions,
+    ));
+    s.push_str("  \"violations\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        let taint = match &v.taint {
+            Some(t) => {
+                let path: Vec<String> = t.path.iter().map(|p| json_str(p)).collect();
+                format!(
+                    ", \"taint\": {{\"kind\": {}, \"path\": [{}]}}",
+                    json_str(t.kind),
+                    path.join(", ")
+                )
+            }
+            None => String::new(),
+        };
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"content\": {}{}}}{}\n",
+            json_str(v.rule),
+            json_str(&v.path),
+            v.line,
+            json_str(&v.content),
+            taint,
+            if i + 1 < report.violations.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n  \"allowlist_errors\": [\n");
+    for (i, e) in report.allowlist_errors.iter().enumerate() {
+        s.push_str(&format!(
+            "    {}{}\n",
+            json_str(e),
+            if i + 1 < report.allowlist_errors.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn json_str(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
 }
 
 // ---------------------------------------------------------------------------
@@ -504,6 +768,17 @@ mod tests {
         lex(src)
     }
 
+    /// Runs the full analyzer over an in-memory fixture workspace.
+    fn analyze_fixture(files: &[(&str, &str)]) -> Vec<Violation> {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(rel, src)| (rel.to_string(), src.to_string()))
+            .collect();
+        let (mut v, _) = analyze(&sources);
+        v.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        v
+    }
+
     #[test]
     fn hashmap_flagged_only_in_sim_crates() {
         let src = "use std::collections::HashMap;\n";
@@ -524,15 +799,6 @@ mod tests {
         let mut v = Vec::new();
         check_determinism("crates/tcp/src/socket.rs", &lines_of(src), &mut v);
         assert_eq!(v.len(), 1);
-    }
-
-    #[test]
-    fn unwrap_flagged_on_hot_path_but_not_in_tests() {
-        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn g() { y.unwrap(); }\n}\n";
-        let mut v = Vec::new();
-        check_panic_safety("crates/tcp/src/socket.rs", &lines_of(src), &mut v);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 1);
     }
 
     #[test]
@@ -591,5 +857,143 @@ mod tests {
         let mut v = Vec::new();
         check_debug_prints("examples/quickstart.rs", &lines_of(src), &mut v);
         assert!(v.is_empty());
+    }
+
+    // -- call-graph taint analysis over fixture mini-workspaces --------
+
+    #[test]
+    fn unwrap_reached_from_on_packet_is_flagged_with_path() {
+        let v = analyze_fixture(&[(
+            "crates/x/src/lib.rs",
+            "impl Node for X {\n    fn on_packet(&mut self) { helper(); }\n}\nfn helper() { deep(); }\nfn deep() { y.unwrap(); }\n",
+        )]);
+        let hit: Vec<&Violation> = v.iter().filter(|v| v.rule == "panic-hotpath").collect();
+        assert_eq!(hit.len(), 1, "{v:?}");
+        assert_eq!(hit[0].line, 5);
+        let taint = hit[0].taint.as_ref().expect("taint path attached");
+        assert_eq!(taint.kind, "hot");
+        assert_eq!(
+            taint.path,
+            vec![
+                "crates/x/src/lib.rs::X::on_packet",
+                "crates/x/src/lib.rs::helper",
+                "crates/x/src/lib.rs::deep",
+            ]
+        );
+    }
+
+    #[test]
+    fn unreached_unwrap_is_not_flagged() {
+        let v = analyze_fixture(&[(
+            "crates/x/src/lib.rs",
+            "impl Node for X {\n    fn on_packet(&mut self) {}\n}\nfn cold_path() { y.unwrap(); }\n",
+        )]);
+        assert!(
+            v.iter().all(|v| v.rule != "panic-hotpath"),
+            "un-tainted fn keeps its unwrap: {v:?}"
+        );
+    }
+
+    #[test]
+    fn taint_crosses_crates_and_trait_impl_edges() {
+        let v = analyze_fixture(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl Node for A {\n    fn on_packet(&mut self) { self.route(); }\n    fn route(&mut self) { yoda_b::shared_helper(); }\n}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn shared_helper() { table[idx].touch(); }\n",
+            ),
+        ]);
+        let hit: Vec<&Violation> = v
+            .iter()
+            .filter(|v| v.rule == "panic-hotpath-index")
+            .collect();
+        assert_eq!(hit.len(), 1, "{v:?}");
+        assert_eq!(hit[0].path, "crates/b/src/lib.rs");
+        let path = &hit[0].taint.as_ref().expect("taint").path;
+        assert_eq!(path.len(), 3, "root -> route -> helper: {path:?}");
+    }
+
+    #[test]
+    fn dispatch_loop_is_a_hot_root() {
+        let v = analyze_fixture(&[(
+            "crates/netsim/src/engine.rs",
+            "impl Engine {\n    pub fn step(&mut self) -> bool { self.queue.pop().expect(\"event\"); true }\n}\n",
+        )]);
+        assert!(
+            v.iter().any(|v| v.rule == "panic-hotpath" && v.line == 2),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn harness_node_impls_are_exempt() {
+        let v = analyze_fixture(&[(
+            "crates/bench/src/bin/fig.rs",
+            "impl Node for Probe {\n    fn on_packet(&mut self) { x.unwrap(); }\n}\n",
+        )]);
+        assert!(v.iter().all(|v| v.rule != "panic-hotpath"), "{v:?}");
+    }
+
+    #[test]
+    fn sim_taint_upgrades_reachable_determinism_violation() {
+        let v = analyze_fixture(&[(
+            "crates/tcp/src/stack.rs",
+            "impl Engine {\n    fn step(&mut self) { tick(); }\n}\nfn tick() { let m = HashMap::new(); }\nfn cold() { let m = HashSet::new(); }\n",
+        )]);
+        let tainted: Vec<&Violation> = v
+            .iter()
+            .filter(|v| v.rule == "sim-taint-hash-collections")
+            .collect();
+        let lexical: Vec<&Violation> = v
+            .iter()
+            .filter(|v| v.rule == "determinism-hash-collections")
+            .collect();
+        assert_eq!(tainted.len(), 1, "{v:?}");
+        assert_eq!(tainted[0].line, 4);
+        assert!(tainted[0].taint.is_some());
+        assert_eq!(lexical.len(), 1, "cold fn keeps lexical rule: {v:?}");
+        assert_eq!(lexical[0].line, 5);
+    }
+
+    #[test]
+    fn test_code_inside_hot_file_is_skipped() {
+        let v = analyze_fixture(&[(
+            "crates/x/src/lib.rs",
+            "impl Node for X {\n    fn on_packet(&mut self) { self.go(); }\n    fn go(&mut self) {}\n}\n#[cfg(test)]\nmod tests {\n    fn t() { z.unwrap(); }\n}\n",
+        )]);
+        assert!(v.iter().all(|v| v.rule != "panic-hotpath"), "{v:?}");
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let report = Report {
+            violations: vec![Violation {
+                rule: "panic-hotpath",
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                content: "y.unwrap() // \"quoted\"".into(),
+                taint: Some(Taint {
+                    kind: "hot",
+                    path: vec!["a::b".into(), "c::d".into()],
+                }),
+            }],
+            allowlist_errors: vec!["stale".into()],
+            stats: Stats {
+                files: 1,
+                functions: 2,
+                hot_functions: 1,
+                sim_functions: 0,
+            },
+        };
+        let j = to_json(&report);
+        assert!(j.contains("\"violations\": 1"), "{j}");
+        assert!(j.contains("\\\"quoted\\\""), "escaped quotes: {j}");
+        assert!(j.contains("\"taint\": {\"kind\": \"hot\", \"path\": [\"a::b\", \"c::d\"]}"), "{j}");
+        assert!(j.contains("\"allowlist_errors\": ["), "{j}");
+        // Countable shape for scripts/check.sh.
+        assert_eq!(j.matches("\"rule\":").count(), 1, "{j}");
     }
 }

@@ -1,14 +1,34 @@
-//! CLI entry point: `cargo run -p yoda-tidy`.
+//! CLI entry point: `cargo run -p yoda-tidy [-- --json]`.
 //!
-//! Prints every violation and exits non-zero if the tree is not clean.
+//! Prints every violation (with its taint path, when the violation is
+//! derived from the call graph) and exits non-zero if the tree is not
+//! clean. `--json` emits the machine-readable report instead; CI uploads
+//! it as an artifact and `scripts/check.sh` diffs the violation count
+//! against `results/tidy_baseline.json`.
 
 #![deny(warnings)]
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = yoda_tidy::workspace_root();
+    let json = std::env::args().any(|a| a == "--json");
+    let root = match yoda_tidy::workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("tidy: cannot locate workspace root: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let report = yoda_tidy::run(&root);
+
+    if json {
+        print!("{}", yoda_tidy::to_json(&report));
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     for v in &report.violations {
         println!("{v}");
@@ -18,7 +38,13 @@ fn main() -> ExitCode {
     }
 
     if report.is_clean() {
-        println!("tidy: workspace is clean");
+        println!(
+            "tidy: workspace is clean ({} files, {} functions, {} hot, {} sim)",
+            report.stats.files,
+            report.stats.functions,
+            report.stats.hot_functions,
+            report.stats.sim_functions
+        );
         ExitCode::SUCCESS
     } else {
         println!(

@@ -11,6 +11,32 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 echo "==> yoda-tidy"
-cargo run -q -p yoda-tidy
+report="$(mktemp)"
+trap 'rm -f "$report"' EXIT
+tidy_ok=0
+cargo run -q -p yoda-tidy -- --json > "$report" || tidy_ok=$?
+
+# Violation-count delta against the committed baseline. One violation
+# object per line in the JSON, so grep -c counts them (grep exits 1 on
+# zero matches — not an error here).
+current=$(grep -c '"rule"' "$report" || true)
+baseline=0
+if [[ -f results/tidy_baseline.json ]]; then
+    baseline=$(grep -c '"rule"' results/tidy_baseline.json || true)
+fi
+delta=$((current - baseline))
+echo "tidy: ${current} violation(s); baseline ${baseline}; delta ${delta}"
+if (( delta > 0 )); then
+    echo "tidy: ${delta} new violation(s) vs results/tidy_baseline.json:"
+    grep '"rule"' "$report" || true
+elif (( delta < 0 )); then
+    echo "tidy: $(( -delta )) violation(s) fixed — regenerate the baseline:"
+    echo "      cargo run -q -p yoda-tidy -- --json > results/tidy_baseline.json"
+fi
+if (( tidy_ok != 0 )); then
+    # Re-run in human mode so the failure output shows taint paths.
+    cargo run -q -p yoda-tidy || true
+    exit "$tidy_ok"
+fi
 
 echo "==> all checks passed"

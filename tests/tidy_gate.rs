@@ -5,7 +5,7 @@
 
 #[test]
 fn workspace_is_tidy() {
-    let root = yoda_tidy::workspace_root();
+    let root = yoda_tidy::workspace_root().expect("workspace root");
     let report = yoda_tidy::run(&root);
     if !report.is_clean() {
         let mut msg = String::from("tidy violations:\n");
