@@ -78,10 +78,15 @@ pub(crate) struct EngineCore {
     rng: Rng,
     topology: Topology,
     trace: TraceSink,
+    /// Timers armed but not yet delivered (or suppressed). Cancellation
+    /// bookkeeping is only kept for ids in this set, so cancelling an
+    /// already-fired timer cannot grow memory.
+    pending_timers: BTreeSet<u64>,
     cancelled_timers: BTreeSet<u64>,
     next_timer_id: u64,
     packets_sent: u64,
     packets_dropped: u64,
+    events_processed: u64,
     /// FNV-1a digest folded over every processed event; two runs with the
     /// same seed and scenario must end with identical digests.
     digest: u64,
@@ -192,6 +197,7 @@ impl Ctx<'_> {
     pub fn set_timer(&mut self, delay: SimTime, token: TimerToken) -> TimerId {
         let id = self.core.next_timer_id;
         self.core.next_timer_id += 1;
+        self.core.pending_timers.insert(id);
         let generation = self.core.meta[self.node.0].generation;
         let at = self.core.time + delay;
         self.core.push(
@@ -207,9 +213,11 @@ impl Ctx<'_> {
     }
 
     /// Cancels a previously armed timer. Cancelling an already-fired timer
-    /// is a no-op.
+    /// is a no-op (and allocates no bookkeeping).
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.cancelled_timers.insert(id.0);
+        if self.core.pending_timers.contains(&id.0) {
+            self.core.cancelled_timers.insert(id.0);
+        }
     }
 
     /// Records a free-form annotation in the trace (no-op when tracing is
@@ -267,10 +275,12 @@ impl Engine {
                 rng: Rng::seed_from_u64(seed),
                 topology,
                 trace: TraceSink::disabled(),
+                pending_timers: BTreeSet::new(),
                 cancelled_timers: BTreeSet::new(),
                 next_timer_id: 0,
                 packets_sent: 0,
                 packets_dropped: 0,
+                events_processed: 0,
                 digest: FNV_OFFSET,
             },
             nodes: Vec::new(),
@@ -300,6 +310,21 @@ impl Engine {
     /// Total packets dropped (dead node, unknown address, or link loss).
     pub fn packets_dropped(&self) -> u64 {
         self.core.packets_dropped
+    }
+
+    /// Total events processed by [`Engine::step`] so far (packets, timers —
+    /// including suppressed ones — and control closures).
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Size of the engine's internal timer bookkeeping: timers armed but
+    /// not yet delivered or suppressed, plus outstanding cancellation
+    /// marks. A long-lived engine whose nodes arm and cancel timers at a
+    /// steady rate must show a bounded backlog; the leak regression test
+    /// pins that down.
+    pub fn timer_backlog(&self) -> usize {
+        self.core.pending_timers.len() + self.core.cancelled_timers.len()
     }
 
     /// Digest of every event processed so far (time, kind, and target).
@@ -510,6 +535,7 @@ impl Engine {
         };
         debug_assert!(ev.time >= self.core.time, "time went backwards");
         self.core.time = ev.time;
+        self.core.events_processed += 1;
         let kind_tag = match &ev.kind {
             EventKind::Packet(pkt) => 1u64 ^ (pkt.dst.addr.as_u32() as u64) << 8,
             EventKind::Timer { id, .. } => 2u64 ^ (*id << 8),
@@ -542,6 +568,7 @@ impl Engine {
                 generation,
                 token,
             } => {
+                self.core.pending_timers.remove(&id);
                 if self.core.cancelled_timers.remove(&id) {
                     return true;
                 }
@@ -667,6 +694,73 @@ mod tests {
         let (mut eng, a, _) = two_node_engine(true);
         eng.run_for(SimTime::from_millis(10));
         assert_eq!(eng.node_ref::<Pinger>(a).timer_fires, 0);
+    }
+
+    /// Timer node that arms `n` timers on start and keeps their ids so a
+    /// scenario script can cancel them after they fired.
+    struct Armer {
+        n: u64,
+        ids: Vec<TimerId>,
+        fires: u64,
+    }
+    impl Node for Armer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..self.n {
+                let id = ctx.set_timer(SimTime::from_millis(1 + i), TimerToken::new(1));
+                self.ids.push(id);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {
+            self.fires += 1;
+        }
+    }
+
+    /// Cancelling timers that already fired must be a no-op that leaves no
+    /// bookkeeping behind: the engine once grew a cancellation set entry
+    /// per such call, forever.
+    #[test]
+    fn cancel_after_fire_is_a_noop_and_leaks_nothing() {
+        let mut eng = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
+        let a = eng.add_node(
+            "armer",
+            Addr::new(10, 0, 0, 1),
+            Zone::Dc,
+            Box::new(Armer {
+                n: 64,
+                ids: Vec::new(),
+                fires: 0,
+            }),
+        );
+        eng.run_for(SimTime::from_secs(1));
+        assert_eq!(eng.node_ref::<Armer>(a).fires, 64, "all timers fired");
+        assert_eq!(eng.timer_backlog(), 0, "fired timers fully reclaimed");
+        let ids = eng.node_ref::<Armer>(a).ids.clone();
+        eng.schedule(SimTime::from_secs(2), move |eng| {
+            eng.with_node_ctx::<Armer>(a, |_, ctx| {
+                for id in &ids {
+                    ctx.cancel_timer(*id);
+                }
+            });
+        });
+        eng.run_for(SimTime::from_secs(2));
+        assert_eq!(
+            eng.timer_backlog(),
+            0,
+            "cancelling already-fired timers must not grow bookkeeping"
+        );
+        assert_eq!(eng.node_ref::<Armer>(a).fires, 64, "no double fire");
+    }
+
+    /// Cancelling a pending timer reclaims its bookkeeping once the
+    /// suppressed deadline passes.
+    #[test]
+    fn cancelled_pending_timer_is_reclaimed_at_deadline() {
+        let (mut eng, _, _) = two_node_engine(true);
+        eng.run_for(SimTime::from_millis(1));
+        assert!(eng.timer_backlog() > 0, "cancelled timer still pending");
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(eng.timer_backlog(), 0, "reclaimed after deadline passed");
     }
 
     #[test]
