@@ -1,0 +1,278 @@
+//! Engine hot-loop microbenchmark: events/sec and ns/event for the
+//! `yoda-netsim` discrete-event core, the quantity every figure binary is
+//! ultimately bottlenecked on.
+//!
+//! Three scenarios isolate the three hot paths:
+//!
+//! * `pingpong_mesh`  — pure packet dispatch: N nodes bounce pings around
+//!   a ring, so every event is a heap pop + address route + node call.
+//! * `timer_churn`    — timer arm/cancel/fire: each node keeps a fan of
+//!   staggered timers alive, cancelling half of them before they fire.
+//! * `trace_ring`     — the ping-pong mesh with tracing enabled, isolating
+//!   the per-event trace-record cost (node-name interning).
+//!
+//! The simulation content is fully deterministic (each scenario prints its
+//! `event_digest`, which must be identical across hosts and across engine
+//! refactors); only the wall-clock measurements vary. Results are written
+//! as JSON. With `--update <path>` the file's `"baseline"` block — the
+//! measurement recorded before the engine overhaul — is preserved and only
+//! `"current"` is replaced, so the repo carries its perf trajectory.
+//!
+//! ```text
+//! bench_engine [--smoke] [--update BENCH_engine.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bytes::Bytes;
+use yoda_bench::{arg_flag, arg_str};
+use yoda_netsim::{
+    Addr, Ctx, Endpoint, Engine, Node, Packet, SimTime, TimerToken, Topology, Zone, PROTO_PING,
+};
+
+/// One node of the ping-pong mesh: pings `fanout` successors on start,
+/// then replies to every ping forever, keeping a fixed population of
+/// packets in flight.
+struct Seeder {
+    index: u32,
+    ring: u32,
+    fanout: u32,
+}
+
+impl Node for Seeder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let me = Endpoint::new(mesh_addr(self.index), 0);
+        for k in 1..=self.fanout {
+            let peer = Endpoint::new(mesh_addr((self.index + k) % self.ring), 0);
+            ctx.send(Packet::new(me, peer, PROTO_PING, Bytes::new()));
+        }
+    }
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let reply = Packet::new(pkt.dst, pkt.src, pkt.protocol, Bytes::new());
+        ctx.send(reply);
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+}
+
+/// Timer-churn node: every tick re-arms a fan of staggered timers and
+/// cancels half of them before they can fire.
+struct Churner {
+    period: SimTime,
+    fan: u64,
+}
+
+impl Node for Churner {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.period, TimerToken::new(0));
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if token.kind != 0 {
+            return; // a surviving fan timer: nothing to do
+        }
+        for i in 0..self.fan {
+            let delay = self.period + SimTime::from_micros(17 * i);
+            let id = ctx.set_timer(delay, TimerToken::new(1).with_a(i));
+            if i % 2 == 0 {
+                ctx.cancel_timer(id);
+            }
+        }
+        ctx.set_timer(self.period, TimerToken::new(0));
+    }
+}
+
+fn mesh_addr(i: u32) -> Addr {
+    Addr::new(10, 20, (i / 250) as u8, (i % 250 + 1) as u8)
+}
+
+struct Measurement {
+    name: &'static str,
+    events: u64,
+    elapsed_ns: u128,
+    digest: u64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+    fn ns_per_event(&self) -> f64 {
+        self.elapsed_ns as f64 / self.events as f64
+    }
+}
+
+/// Runs `build` + `run_for(duration)` `repeats` times, keeping the fastest
+/// wall-clock run. The digest must agree across repeats — a mismatch means
+/// the engine is nondeterministic and the numbers are garbage.
+fn measure(
+    name: &'static str,
+    repeats: u32,
+    duration: SimTime,
+    build: impl Fn() -> Engine,
+) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..repeats {
+        let mut eng = build();
+        // Setup events (on_start controls and first sends) are untimed.
+        eng.run_for(SimTime::from_millis(50));
+        let base_events = eng.events_processed();
+        let t0 = Instant::now();
+        eng.run_for(duration);
+        let elapsed_ns = t0.elapsed().as_nanos().max(1);
+        let m = Measurement {
+            name,
+            events: eng.events_processed() - base_events,
+            elapsed_ns,
+            digest: eng.event_digest(),
+        };
+        if let Some(prev) = &best {
+            assert_eq!(
+                prev.digest, m.digest,
+                "{name}: digest varies across repeats — engine is nondeterministic"
+            );
+            assert_eq!(prev.events, m.events, "{name}: event count varies");
+        }
+        if best.as_ref().is_none_or(|b| m.elapsed_ns < b.elapsed_ns) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn pingpong_mesh(nodes: u32, fanout: u32) -> Engine {
+    // No jitter and no loss: the RNG is never consulted, so every event is
+    // pure dispatch cost.
+    let mut eng = Engine::with_topology(7, Topology::uniform(SimTime::from_millis(1)));
+    for i in 0..nodes {
+        eng.add_node(
+            format!("mesh-{i}"),
+            mesh_addr(i),
+            Zone::Dc,
+            Box::new(Seeder {
+                index: i,
+                ring: nodes,
+                fanout,
+            }),
+        );
+    }
+    // Half the mesh also owns a VIP-style alias so the address table sees
+    // a realistic multi-address load.
+    for i in 0..nodes / 2 {
+        let id = eng
+            .node_by_addr(mesh_addr(i))
+            .expect("mesh node registered");
+        eng.add_addr(id, Addr::new(100, 20, (i / 250) as u8, (i % 250 + 1) as u8));
+    }
+    eng
+}
+
+fn timer_churn(nodes: u32, fan: u64) -> Engine {
+    let mut eng = Engine::with_topology(7, Topology::uniform(SimTime::from_millis(1)));
+    for i in 0..nodes {
+        eng.add_node(
+            format!("churn-{i}"),
+            mesh_addr(i),
+            Zone::Dc,
+            Box::new(Churner {
+                period: SimTime::from_micros(500 + 13 * i as u64),
+                fan,
+            }),
+        );
+    }
+    eng
+}
+
+fn trace_ring(nodes: u32, fanout: u32) -> Engine {
+    let mut eng = pingpong_mesh(nodes, fanout);
+    eng.enable_trace(1 << 16);
+    eng
+}
+
+fn json_block(mode: &str, results: &[Measurement]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "  {{");
+    let _ = writeln!(s, "    \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "    \"scenarios\": [");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"name\": \"{}\", \"events\": {}, \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \"digest\": \"{:#018x}\"}}{comma}",
+            m.name,
+            m.events,
+            m.events_per_sec(),
+            m.ns_per_event(),
+            m.digest,
+        );
+    }
+    let _ = writeln!(s, "    ]");
+    let _ = write!(s, "  }}");
+    s
+}
+
+/// Extracts the `"baseline": { ... }` block (balanced braces) from a
+/// previously written report, so re-running the bench preserves the
+/// pre-overhaul measurement forever.
+fn extract_baseline(text: &str) -> Option<String> {
+    let start = text.find("\"baseline\":")? + "\"baseline\":".len();
+    let rest = &text[start..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[open..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn main() {
+    let smoke = arg_flag("smoke");
+    let (repeats, secs) = if smoke { (1, 1) } else { (3, 4) };
+    let duration = SimTime::from_secs(secs);
+
+    let results = vec![
+        measure("pingpong_mesh", repeats, duration, || {
+            pingpong_mesh(512, 4)
+        }),
+        measure("timer_churn", repeats, duration, || timer_churn(64, 16)),
+        measure("trace_ring", repeats, duration, || trace_ring(512, 4)),
+    ];
+
+    for m in &results {
+        eprintln!(
+            "{:16} {:>10} events  {:>12.0} events/s  {:>8.1} ns/event  digest {:#018x}",
+            m.name,
+            m.events,
+            m.events_per_sec(),
+            m.ns_per_event(),
+            m.digest,
+        );
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let current = json_block(mode, &results);
+    let baseline = arg_str("update")
+        .and_then(|path| std::fs::read_to_string(path).ok())
+        .and_then(|text| extract_baseline(&text))
+        .unwrap_or_else(|| current.clone());
+
+    let report = format!(
+        "{{\n  \"bench\": \"bench_engine\",\n  \"schema\": 1,\n  \"baseline\":\n{baseline},\n  \"current\":\n{current}\n}}\n"
+    );
+    match arg_str("update") {
+        Some(path) => {
+            std::fs::write(&path, &report).expect("write bench report");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+}

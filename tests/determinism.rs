@@ -81,3 +81,141 @@ fn different_seed_different_event_trace() {
     let b = run_scenario(2);
     assert_ne!(a.0, b.0, "digest failed to distinguish different seeds");
 }
+
+// ---------------------------------------------------------------------------
+// Golden digest: pins the engine's event sequence across refactors
+// ---------------------------------------------------------------------------
+
+mod golden {
+    use yoda::netsim::{
+        Addr, Ctx, Endpoint, Engine, Node, Packet, SimTime, TimerId, TimerToken, Topology, Zone,
+        PROTO_PING,
+    };
+
+    /// A node that exercises every event class the engine has: packets
+    /// (forwarded around a ring with RNG-chosen hops), timers (periodic
+    /// re-arm, same-tick collisions, and a cancelled one), and — driven
+    /// from the harness below — control closures, node failure, and
+    /// generation-bumping restore.
+    struct Mixer {
+        index: u32,
+        ring: u32,
+        hops_left: u32,
+        fires: u32,
+        cancelled: Option<TimerId>,
+    }
+
+    impl Mixer {
+        fn peer(&self, offset: u32) -> Endpoint {
+            let target = (self.index + offset) % self.ring;
+            Endpoint::new(Addr::new(10, 9, 0, (target + 1) as u8), 0)
+        }
+        fn me(&self) -> Endpoint {
+            Endpoint::new(Addr::new(10, 9, 0, (self.index + 1) as u8), 0)
+        }
+    }
+
+    impl Node for Mixer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let pkt = Packet::new(self.me(), self.peer(1), PROTO_PING, bytes::Bytes::new());
+            ctx.send(pkt);
+            // Two timers landing on the same microsecond tick, plus one
+            // cancelled before it can fire.
+            ctx.set_timer(SimTime::from_millis(3), TimerToken::new(1));
+            ctx.set_timer(SimTime::from_millis(3), TimerToken::new(2));
+            let id = ctx.set_timer(SimTime::from_millis(4), TimerToken::new(3));
+            self.cancelled = Some(id);
+            if self.index % 2 == 0 {
+                if let Some(id) = self.cancelled {
+                    ctx.cancel_timer(id);
+                }
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: Packet) {
+            if self.hops_left == 0 {
+                return;
+            }
+            self.hops_left -= 1;
+            let offset = 1 + (ctx.rng().gen_range(0..3) as u32);
+            let pkt = Packet::new(self.me(), self.peer(offset), PROTO_PING, bytes::Bytes::new());
+            ctx.send(pkt);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+            self.fires += 1;
+            if token.kind == 1 && self.fires < 8 {
+                ctx.set_timer(SimTime::from_millis(2), TimerToken::new(1));
+                let pkt =
+                    Packet::new(self.me(), self.peer(2), PROTO_PING, bytes::Bytes::new());
+                ctx.send(pkt);
+            }
+        }
+    }
+
+    fn fresh(index: u32, ring: u32) -> Box<Mixer> {
+        Box::new(Mixer {
+            index,
+            ring,
+            hops_left: 40,
+            fires: 0,
+            cancelled: None,
+        })
+    }
+
+    fn run_mixed_workload() -> (u64, u64, u64, u64) {
+        const RING: u32 = 8;
+        let mut eng = Engine::with_topology(99, Topology::uniform(SimTime::from_micros(700)));
+        let mut ids = Vec::new();
+        for i in 0..RING {
+            let id = eng.add_node(
+                format!("mixer-{i}"),
+                Addr::new(10, 9, 0, (i + 1) as u8),
+                Zone::Dc,
+                fresh(i, RING),
+            );
+            ids.push(id);
+        }
+        // Control events interleaved with traffic: a crash mid-run, a
+        // generation-bumping restore (stale timers must be suppressed),
+        // and a scripted extra packet.
+        let victim = ids[2];
+        eng.schedule(SimTime::from_millis(9), move |eng| eng.fail_node(victim));
+        eng.schedule(SimTime::from_millis(14), move |eng| {
+            eng.restore_node(victim, fresh(2, RING));
+        });
+        eng.schedule(SimTime::from_millis(21), move |eng| {
+            eng.with_node_ctx::<Mixer>(victim, |node, ctx| {
+                let pkt =
+                    Packet::new(node.me(), node.peer(1), PROTO_PING, bytes::Bytes::new());
+                ctx.send(pkt);
+            });
+        });
+        eng.run_for(SimTime::from_millis(200));
+        (
+            eng.event_digest(),
+            eng.packets_sent(),
+            eng.events_processed(),
+            eng.now().as_micros(),
+        )
+    }
+
+    /// Golden constants recorded from the engine *before* the hot-path
+    /// overhaul (BTreeMap addr routing + single BinaryHeap). Any engine
+    /// refactor must reproduce this event sequence bit-for-bit; if this
+    /// test fails the change is a behaviour change, not a pure
+    /// optimisation, and must not be folded into a perf PR.
+    const GOLDEN_DIGEST: u64 = 0xa33c_a2ef_71ca_4849;
+    const GOLDEN_PACKETS: u64 = 362;
+    const GOLDEN_EVENTS: u64 = 448;
+
+    #[test]
+    fn mixed_workload_matches_golden_digest() {
+        let (digest, packets, events, now) = run_mixed_workload();
+        assert_eq!(now, 200_000, "run_for leaves the clock at the deadline");
+        assert_eq!(
+            (digest, packets, events),
+            (GOLDEN_DIGEST, GOLDEN_PACKETS, GOLDEN_EVENTS),
+            "event sequence diverged from the pre-overhaul engine \
+             (digest, packets_sent, events_processed)"
+        );
+    }
+}
