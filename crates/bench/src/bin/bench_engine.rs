@@ -19,8 +19,11 @@
 //! `"current"` is replaced, so the repo carries its perf trajectory.
 //!
 //! ```text
-//! bench_engine [--smoke] [--update BENCH_engine.json]
+//! bench_engine [--smoke] [--only SCENARIO] [--update BENCH_engine.json]
 //! ```
+//!
+//! `--only` restricts the run to one scenario (exact name) — for
+//! profiling a single hot path without the others polluting the samples.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -239,13 +242,24 @@ fn main() {
     let (repeats, secs) = if smoke { (1, 1) } else { (3, 4) };
     let duration = SimTime::from_secs(secs);
 
-    let results = vec![
-        measure("pingpong_mesh", repeats, duration, || {
+    let only = arg_str("only");
+    let wanted = |name: &str| only.as_deref().is_none_or(|o| o == name);
+    let mut results = Vec::new();
+    if wanted("pingpong_mesh") {
+        results.push(measure("pingpong_mesh", repeats, duration, || {
             pingpong_mesh(512, 4)
-        }),
-        measure("timer_churn", repeats, duration, || timer_churn(64, 16)),
-        measure("trace_ring", repeats, duration, || trace_ring(512, 4)),
-    ];
+        }));
+    }
+    if wanted("timer_churn") {
+        results.push(measure("timer_churn", repeats, duration, || {
+            timer_churn(64, 16)
+        }));
+    }
+    if wanted("trace_ring") {
+        results.push(measure("trace_ring", repeats, duration, || {
+            trace_ring(512, 4)
+        }));
+    }
 
     for m in &results {
         eprintln!(

@@ -26,9 +26,17 @@ use std::sync::Arc;
 /// allocation; no byte is copied after construction.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
-    start: usize,
-    end: usize,
+    /// `None` for the empty buffer, so empty packets (pings, ACKs,
+    /// probes — the bulk of simulated control traffic) never allocate a
+    /// backing block and their clones and drops touch no atomics.
+    data: Option<Arc<[u8]>>,
+    /// View bounds into `data`. `u32` keeps the struct at 16 bytes —
+    /// `Bytes` is embedded in every simulated packet and moved through
+    /// the engine's event slab, so its footprint is hot. Simulated
+    /// buffers are bounded far below 4 GiB (the whole simulation would
+    /// not fit in memory otherwise).
+    start: u32,
+    end: u32,
 }
 
 impl Bytes {
@@ -44,19 +52,22 @@ impl Bytes {
         Bytes::copy_from_slice(slice)
     }
 
-    /// Copies `slice` into a fresh shared allocation.
+    /// Copies `slice` into a fresh shared allocation (none when empty).
     pub fn copy_from_slice(slice: &[u8]) -> Self {
+        if slice.is_empty() {
+            return Bytes::new();
+        }
         let data: Arc<[u8]> = Arc::from(slice);
         Bytes {
             start: 0,
-            end: data.len(),
-            data,
+            end: data.len() as u32,
+            data: Some(data),
         }
     }
 
     /// Number of bytes in the view.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        (self.end - self.start) as usize
     }
 
     /// Whether the view is empty.
@@ -84,9 +95,9 @@ impl Bytes {
         };
         assert!(begin <= end && end <= len, "slice out of bounds");
         Bytes {
-            data: Arc::clone(&self.data),
-            start: self.start + begin,
-            end: self.start + end,
+            data: self.data.clone(),
+            start: self.start + begin as u32,
+            end: self.start + end as u32,
         }
     }
 
@@ -97,7 +108,7 @@ impl Bytes {
     /// Panics if `at > len`.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         let head = self.slice(..at);
-        self.start += at;
+        self.start += at as u32;
         head
     }
 
@@ -109,13 +120,18 @@ impl Bytes {
     /// Panics if `at > len`.
     pub fn split_off(&mut self, at: usize) -> Bytes {
         let tail = self.slice(at..);
-        self.end = self.start + at;
+        self.end = self.start + at as u32;
         tail
     }
 
     /// The bytes as a plain slice.
     pub fn as_slice(&self) -> &[u8] {
-        self.data.get(self.start..self.end).unwrap_or(&[])
+        match &self.data {
+            Some(data) => data
+                .get(self.start as usize..self.end as usize)
+                .unwrap_or(&[]),
+            None => &[],
+        }
     }
 }
 
@@ -215,11 +231,14 @@ impl PartialEq<&str> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            return Bytes::new();
+        }
         let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
         Bytes {
             start: 0,
-            end: data.len(),
-            data,
+            end: data.len() as u32,
+            data: Some(data),
         }
     }
 }

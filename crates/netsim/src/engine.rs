@@ -9,23 +9,28 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-// BTreeMap/BTreeSet (not Hash*): iteration order must be seed-stable, never
-// ASLR-dependent — enforced by yoda-tidy's determinism rule.
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 use crate::addr::Addr;
+// AddrMap (not Hash*): deterministic fixed-hash table with a lookup-only
+// API, so no iteration order exists to leak into event scheduling —
+// enforced by yoda-tidy's determinism rule.
+use crate::addrmap::AddrMap;
 use crate::node::{Node, TimerId, TimerToken};
 use crate::packet::Packet;
 use crate::rng::Rng;
 use crate::time::SimTime;
 use crate::topology::{Topology, Zone};
 use crate::trace::{TraceEvent, TraceKind, TraceSink};
+use crate::wheel::{TimerWheel, WheelItem};
 /// Index of a node within the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 struct NodeMeta {
-    name: String,
+    /// Interned: trace records share this allocation instead of cloning.
+    name: Rc<str>,
     zone: Zone,
     alive: bool,
     /// Bumped on restore so stale timers from before a crash never fire.
@@ -33,56 +38,47 @@ struct NodeMeta {
     addrs: Vec<Addr>,
 }
 
-enum EventKind {
-    Packet(Packet),
-    Timer {
-        node: NodeId,
-        id: u64,
-        generation: u64,
-        token: TimerToken,
-    },
-    Control(Box<dyn FnOnce(&mut Engine)>),
-}
+/// Payload of a heap-scheduled event. Only the rare control closure
+/// rides the heap now: timers AND packets live inline in the
+/// [`TimerWheel`], so the hot path allocates nothing per event.
+type Control = Box<dyn FnOnce(&mut Engine)>;
 
-struct Event {
-    time: SimTime,
+/// What the binary heap actually sorts: a 24-byte key instead of a full
+/// event, so sift operations move 24 bytes rather than ~100. The payload
+/// sits in `EngineCore::payloads[slot]` until the key pops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry {
+    /// Absolute time, µs.
+    time: u64,
+    /// Global insertion sequence — the deterministic tie-breaker.
     seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+    /// Payload slab index.
+    slot: u32,
 }
 
 /// Engine internals shared with [`Ctx`]; split from the node storage so a
 /// node can borrow the core mutably while the engine holds the node.
 pub(crate) struct EngineCore {
     time: SimTime,
+    /// One global sequence counter shared by packets, timers, and control
+    /// events: allocation order IS the deterministic tie-break order.
     seq: u64,
-    events: BinaryHeap<Reverse<Event>>,
+    events: BinaryHeap<Reverse<HeapEntry>>,
+    /// Control closures for heap entries, indexed by `HeapEntry::slot`;
+    /// slots are recycled through `free_payloads` in LIFO order
+    /// (deterministic).
+    payloads: Vec<Option<Control>>,
+    free_payloads: Vec<u32>,
+    /// All pending timers; O(1) arm and cancel, pops in exact
+    /// `(deadline, seq)` order. Cancelled timers still pop (flagged) at
+    /// their deadline so the event digest is unchanged from the era when
+    /// they sat in the heap, and are reclaimed at that pop.
+    wheel: TimerWheel,
     meta: Vec<NodeMeta>,
-    addr_map: BTreeMap<Addr, NodeId>,
+    addr_map: AddrMap,
     rng: Rng,
     topology: Topology,
     trace: TraceSink,
-    /// Timers armed but not yet delivered (or suppressed). Cancellation
-    /// bookkeeping is only kept for ids in this set, so cancelling an
-    /// already-fired timer cannot grow memory.
-    pending_timers: BTreeSet<u64>,
-    cancelled_timers: BTreeSet<u64>,
     next_timer_id: u64,
     packets_sent: u64,
     packets_dropped: u64,
@@ -105,10 +101,33 @@ fn fnv_fold(digest: u64, word: u64) -> u64 {
 }
 
 impl EngineCore {
-    fn push(&mut self, time: SimTime, kind: EventKind) {
+    /// Stores a control closure in the slab, returning its slot.
+    fn alloc_payload(&mut self, payload: Control) -> u32 {
+        match self.free_payloads.pop() {
+            Some(s) => {
+                if let Some(p) = self.payloads.get_mut(s as usize) {
+                    *p = Some(payload);
+                }
+                s
+            }
+            None => {
+                self.payloads.push(Some(payload));
+                (self.payloads.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Schedules a heap event (control closures; packets go through the
+    /// wheel via [`EngineCore::send_from`]).
+    fn push(&mut self, time: SimTime, payload: Control) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        let slot = self.alloc_payload(payload);
+        self.events.push(Reverse(HeapEntry {
+            time: time.as_micros(),
+            seq,
+            slot,
+        }));
     }
 
     fn record_packet(&mut self, node: NodeId, kind: TraceKind, pkt: &Packet, detail: &str) {
@@ -129,14 +148,15 @@ impl EngineCore {
 
     fn send_from(&mut self, from: NodeId, pkt: Packet, extra_delay: SimTime) {
         let from_zone = self.meta[from.0].zone;
-        let to_zone = match self.addr_map.get(&pkt.dst.addr) {
-            Some(id) => self.meta[id.0].zone,
+        let to_id = match self.addr_map.get(pkt.dst.addr) {
+            Some(id) => id,
             None => {
                 self.packets_dropped += 1;
                 self.record_packet(from, TraceKind::PacketDropped, &pkt, "no route");
                 return;
             }
         };
+        let to_zone = self.meta[to_id].zone;
         self.packets_sent += 1;
         self.record_packet(from, TraceKind::PacketSent, &pkt, "");
         let now = self.time + extra_delay;
@@ -145,7 +165,21 @@ impl EngineCore {
             .topology
             .delivery_time(now, from_zone, to_zone, wire, &mut self.rng)
         {
-            Some(at) => self.push(at, EventKind::Packet(pkt)),
+            Some(at) => {
+                // Packets ride the timing wheel, stored inline in the
+                // wheel's slab: O(1) amortized arm/pop versus the heap's
+                // O(log n), one slab write instead of payload + key. The
+                // shared seq counter keeps the global (time, seq) order —
+                // and therefore the digest — identical to the heap era.
+                // `dst` is resolved here; address bindings are
+                // insert-only and nodes are never removed, so it cannot
+                // go stale (liveness is still checked at delivery).
+                let seq = self.seq;
+                self.seq += 1;
+                let dst = to_id as u32;
+                self.wheel
+                    .arm(at.as_micros(), seq, 0, WheelItem::Packet { pkt, dst });
+            }
             None => {
                 self.packets_dropped += 1;
                 self.record_packet(from, TraceKind::PacketDropped, &pkt, "link loss");
@@ -173,7 +207,7 @@ impl Ctx<'_> {
 
     /// This node's name.
     pub fn node_name(&self) -> &str {
-        &self.core.meta[self.node.0].name
+        self.core.meta[self.node.0].name.as_ref()
     }
 
     /// The engine's deterministic RNG.
@@ -197,27 +231,37 @@ impl Ctx<'_> {
     pub fn set_timer(&mut self, delay: SimTime, token: TimerToken) -> TimerId {
         let id = self.core.next_timer_id;
         self.core.next_timer_id += 1;
-        self.core.pending_timers.insert(id);
         let generation = self.core.meta[self.node.0].generation;
         let at = self.core.time + delay;
-        self.core.push(
-            at,
-            EventKind::Timer {
-                node: self.node,
-                id,
+        // Timers share the packet/control sequence counter so the total
+        // event order is identical to scheduling them through the heap.
+        let seq = self.core.seq;
+        self.core.seq += 1;
+        let slot = self.core.wheel.arm(
+            at.as_micros(),
+            seq,
+            id,
+            WheelItem::Timer {
+                node: self.node.0,
                 generation,
                 token,
             },
         );
-        TimerId(id)
+        TimerId { id, slot }
     }
 
-    /// Cancels a previously armed timer. Cancelling an already-fired timer
-    /// is a no-op (and allocates no bookkeeping).
+    /// Cancels a previously armed timer in O(1). Cancelling an
+    /// already-fired timer is a no-op (and allocates no bookkeeping):
+    /// the wheel slot either holds this timer (marked in place) or has
+    /// been reclaimed (the stale handle is rejected by id).
     pub fn cancel_timer(&mut self, id: TimerId) {
-        if self.core.pending_timers.contains(&id.0) {
-            self.core.cancelled_timers.insert(id.0);
-        }
+        self.core.wheel.cancel(id.slot, id.id);
+    }
+
+    /// Whether tracing is enabled; lets hot paths skip building
+    /// `trace_note` strings that would be thrown away.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace.is_enabled()
     }
 
     /// Records a free-form annotation in the trace (no-op when tracing is
@@ -242,9 +286,9 @@ impl Ctx<'_> {
     pub fn resolve(&self, addr: Addr) -> Option<NodeId> {
         self.core
             .addr_map
-            .get(&addr)
-            .copied()
-            .filter(|id| self.core.meta[id.0].alive)
+            .get(addr)
+            .filter(|&id| self.core.meta[id].alive)
+            .map(NodeId)
     }
 }
 
@@ -270,13 +314,14 @@ impl Engine {
                 time: SimTime::ZERO,
                 seq: 0,
                 events: BinaryHeap::new(),
+                payloads: Vec::new(),
+                free_payloads: Vec::new(),
+                wheel: TimerWheel::new(),
                 meta: Vec::new(),
-                addr_map: BTreeMap::new(),
+                addr_map: AddrMap::new(),
                 rng: Rng::seed_from_u64(seed),
                 topology,
                 trace: TraceSink::disabled(),
-                pending_timers: BTreeSet::new(),
-                cancelled_timers: BTreeSet::new(),
                 next_timer_id: 0,
                 packets_sent: 0,
                 packets_dropped: 0,
@@ -319,12 +364,12 @@ impl Engine {
     }
 
     /// Size of the engine's internal timer bookkeeping: timers armed but
-    /// not yet delivered or suppressed, plus outstanding cancellation
-    /// marks. A long-lived engine whose nodes arm and cancel timers at a
-    /// steady rate must show a bounded backlog; the leak regression test
-    /// pins that down.
+    /// not yet delivered, including cancelled ones whose wheel slot is
+    /// reclaimed when the suppressed deadline pops. A long-lived engine
+    /// whose nodes arm and cancel timers at a steady rate must show a
+    /// bounded backlog; the leak regression test pins that down.
     pub fn timer_backlog(&self) -> usize {
-        self.core.pending_timers.len() + self.core.cancelled_timers.len()
+        self.core.wheel.timer_len()
     }
 
     /// Digest of every event processed so far (time, kind, and target).
@@ -356,10 +401,10 @@ impl Engine {
         node: Box<dyn Node>,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
-        let prev = self.core.addr_map.insert(addr, id);
+        let prev = self.core.addr_map.insert(addr, id.0);
         assert!(prev.is_none(), "address {addr} already in use");
         self.core.meta.push(NodeMeta {
-            name: name.into(),
+            name: Rc::from(name.into()),
             zone,
             alive: true,
             generation: 0,
@@ -368,9 +413,9 @@ impl Engine {
         self.nodes.push(Some(node));
         self.core.push(
             self.core.time,
-            EventKind::Control(Box::new(move |eng: &mut Engine| {
+            Box::new(move |eng: &mut Engine| {
                 eng.with_node(id, |node, ctx| node.on_start(ctx));
-            })),
+            }),
         );
         id
     }
@@ -382,19 +427,19 @@ impl Engine {
     ///
     /// Panics if the address is already owned.
     pub fn add_addr(&mut self, id: NodeId, addr: Addr) {
-        let prev = self.core.addr_map.insert(addr, id);
+        let prev = self.core.addr_map.insert(addr, id.0);
         assert!(prev.is_none(), "address {addr} already in use");
         self.core.meta[id.0].addrs.push(addr);
     }
 
     /// Looks up the node owning an address, if any.
     pub fn node_by_addr(&self, addr: Addr) -> Option<NodeId> {
-        self.core.addr_map.get(&addr).copied()
+        self.core.addr_map.get(addr).map(NodeId)
     }
 
     /// The node's display name.
     pub fn node_name(&self, id: NodeId) -> &str {
-        &self.core.meta[id.0].name
+        self.core.meta[id.0].name.as_ref()
     }
 
     /// Whether the node is currently alive.
@@ -443,9 +488,9 @@ impl Engine {
         }
         self.core.push(
             self.core.time,
-            EventKind::Control(Box::new(move |eng: &mut Engine| {
+            Box::new(move |eng: &mut Engine| {
                 eng.with_node(id, |node, ctx| node.on_start(ctx));
-            })),
+            }),
         );
     }
 
@@ -453,7 +498,7 @@ impl Engine {
     /// (clamped to now if already past).
     pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
         let t = at.max(self.core.time);
-        self.core.push(t, EventKind::Control(Box::new(f)));
+        self.core.push(t, Box::new(f));
     }
 
     /// Immutable, downcast access to a node's concrete type; `None` when
@@ -529,56 +574,115 @@ impl Engine {
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Reverse(ev) = match self.core.events.pop() {
-            Some(e) => e,
-            None => return false,
+        self.step_bounded(None)
+    }
+
+    /// Processes the globally next event — the `(time, seq)` minimum
+    /// across the packet/control heap and the timer wheel — unless its
+    /// time exceeds `limit_us`. Returns `false` without popping anything
+    /// when nothing (eligible) is pending, so a deadline-bounded run
+    /// makes exactly one peek and one pop per event on each structure.
+    fn step_bounded(&mut self, limit_us: Option<u64>) -> bool {
+        let heap_key = self
+            .core
+            .events
+            .peek()
+            .map(|&Reverse(e)| (e.time, e.seq));
+        let wheel_key = self.core.wheel.peek();
+        let (time_us, from_wheel) = match (heap_key, wheel_key) {
+            (None, None) => return false,
+            (Some((t, s)), Some(w)) => {
+                if w < (t, s) {
+                    (w.0, true)
+                } else {
+                    (t, false)
+                }
+            }
+            (Some((t, _)), None) => (t, false),
+            (None, Some(w)) => (w.0, true),
         };
-        debug_assert!(ev.time >= self.core.time, "time went backwards");
-        self.core.time = ev.time;
-        self.core.events_processed += 1;
-        let kind_tag = match &ev.kind {
-            EventKind::Packet(pkt) => 1u64 ^ (pkt.dst.addr.as_u32() as u64) << 8,
-            EventKind::Timer { id, .. } => 2u64 ^ (*id << 8),
-            EventKind::Control(_) => 3u64,
-        };
-        self.core.digest = fnv_fold(self.core.digest, ev.time.as_micros());
-        self.core.digest = fnv_fold(self.core.digest, kind_tag);
-        match ev.kind {
-            EventKind::Packet(pkt) => {
-                let id = match self.core.addr_map.get(&pkt.dst.addr) {
-                    Some(id) => *id,
-                    None => {
-                        self.core.packets_dropped += 1;
+        if let Some(limit) = limit_us {
+            if time_us > limit {
+                return false;
+            }
+        }
+        debug_assert!(
+            time_us >= self.core.time.as_micros(),
+            "time went backwards"
+        );
+
+        if from_wheel {
+            let fired = match self.core.wheel.pop() {
+                Some(f) => f,
+                None => return false, // unreachable: peek said non-empty
+            };
+            self.core.time = SimTime::from_micros(fired.time);
+            self.core.events_processed += 1;
+            match fired.item {
+                WheelItem::Timer {
+                    node,
+                    generation,
+                    token,
+                } => {
+                    // Digest-fold BEFORE the cancellation/liveness
+                    // checks: suppressed timers still advance the clock
+                    // and count as events, exactly as when they
+                    // travelled through the heap.
+                    self.core.digest = fnv_fold(self.core.digest, fired.time);
+                    self.core.digest = fnv_fold(self.core.digest, 2u64 ^ (fired.id << 8));
+                    if fired.cancelled {
                         return true;
                     }
-                };
-                if !self.core.meta[id.0].alive {
-                    self.core.packets_dropped += 1;
+                    let node = NodeId(node);
+                    let meta = &self.core.meta[node.0];
+                    if !meta.alive || meta.generation != generation {
+                        return true;
+                    }
+                    self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+                }
+                WheelItem::Packet { pkt, dst } => {
+                    self.core.digest = fnv_fold(self.core.digest, fired.time);
+                    self.core.digest = fnv_fold(
+                        self.core.digest,
+                        1u64 ^ (pkt.dst.addr.as_u32() as u64) << 8,
+                    );
+                    let id = NodeId(dst as usize);
+                    if !self.core.meta[id.0].alive {
+                        self.core.packets_dropped += 1;
+                        self.core
+                            .record_packet(id, TraceKind::PacketDropped, &pkt, "dead node");
+                        return true;
+                    }
                     self.core
-                        .record_packet(id, TraceKind::PacketDropped, &pkt, "dead node");
-                    return true;
+                        .record_packet(id, TraceKind::PacketDelivered, &pkt, "");
+                    self.with_node(id, |node, ctx| node.on_packet(ctx, pkt));
                 }
-                self.core
-                    .record_packet(id, TraceKind::PacketDelivered, &pkt, "");
-                self.with_node(id, |node, ctx| node.on_packet(ctx, pkt));
             }
-            EventKind::Timer {
-                node,
-                id,
-                generation,
-                token,
-            } => {
-                self.core.pending_timers.remove(&id);
-                if self.core.cancelled_timers.remove(&id) {
-                    return true;
-                }
-                let meta = &self.core.meta[node.0];
-                if !meta.alive || meta.generation != generation {
-                    return true;
-                }
-                self.with_node(node, |node, ctx| node.on_timer(ctx, token));
+            return true;
+        }
+
+        let Some(Reverse(entry)) = self.core.events.pop() else {
+            return false; // unreachable: peek said non-empty
+        };
+        self.core.time = SimTime::from_micros(entry.time);
+        // Keep the wheel's clock in lock-step so later arms place
+        // relative to the right windows.
+        self.core.wheel.advance(entry.time);
+        self.core.events_processed += 1;
+        let payload = self
+            .core
+            .payloads
+            .get_mut(entry.slot as usize)
+            .and_then(Option::take);
+        self.core.free_payloads.push(entry.slot);
+        match payload {
+            Some(f) => {
+                self.core.digest = fnv_fold(self.core.digest, entry.time);
+                self.core.digest = fnv_fold(self.core.digest, 3u64);
+                f(self);
             }
-            EventKind::Control(f) => f(self),
+            // Unreachable: every heap entry owns its payload slot.
+            None => {}
         }
         true
     }
@@ -586,16 +690,11 @@ impl Engine {
     /// Runs until the event queue drains or the clock reaches `deadline`;
     /// the clock is left at `deadline` (or the last event time if earlier).
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            match self.core.events.peek() {
-                Some(Reverse(ev)) if ev.time <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
-        }
+        let limit = deadline.as_micros();
+        while self.step_bounded(Some(limit)) {}
         if self.core.time < deadline {
             self.core.time = deadline;
+            self.core.wheel.advance(limit);
         }
     }
 

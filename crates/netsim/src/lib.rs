@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod addr;
+pub mod addrmap;
 pub mod engine;
 pub mod hash;
 pub mod node;
@@ -51,6 +52,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod wheel;
 
 pub use addr::{Addr, Endpoint};
 pub use rng::Rng;

@@ -11,8 +11,39 @@ use crate::engine::Ctx;
 use crate::packet::Packet;
 
 /// Identifier of an armed timer, used for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TimerId(pub(crate) u64);
+///
+/// Carries the engine-wide timer id plus the timer wheel slab slot the
+/// timer occupies, so cancellation is O(1): the wheel checks that the
+/// slot still holds this id (a recycled slot holds a newer one) and
+/// marks it in place. Ordering and equality follow the globally unique
+/// `id` alone.
+#[derive(Debug, Clone, Copy)]
+pub struct TimerId {
+    pub(crate) id: u64,
+    pub(crate) slot: u32,
+}
+
+impl PartialEq for TimerId {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for TimerId {}
+impl PartialOrd for TimerId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.id.cmp(&other.id)
+    }
+}
+impl std::hash::Hash for TimerId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
 
 /// Application-defined timer payload.
 ///

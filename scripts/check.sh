@@ -39,4 +39,48 @@ if (( tidy_ok != 0 )); then
     exit "$tidy_ok"
 fi
 
+echo "==> bench_engine (smoke)"
+# Events/sec delta vs the committed BENCH_engine.json. Report-only:
+# wall-clock throughput is machine-dependent, so a delta here must never
+# gate. (Digest agreement is asserted inside the bench itself, across
+# its repeats.)
+bench_json="$(mktemp)"
+trap 'rm -f "$report" "$bench_json"' EXIT
+./target/release/bench_engine --smoke > "$bench_json"
+if [[ -f BENCH_engine.json ]]; then
+    for name in pingpong_mesh timer_churn trace_ring; do
+        # Last match in the committed file is the "current" block.
+        committed=$(grep "\"name\": \"$name\"" BENCH_engine.json | tail -1 \
+            | grep -o '"events_per_sec": [0-9]*' | grep -o '[0-9]*' || true)
+        now=$(grep "\"name\": \"$name\"" "$bench_json" | tail -1 \
+            | grep -o '"events_per_sec": [0-9]*' | grep -o '[0-9]*' || true)
+        if [[ -n "$committed" && -n "$now" && "$committed" -gt 0 ]]; then
+            awk -v n="$name" -v c="$committed" -v x="$now" 'BEGIN {
+                printf "bench: %-14s %12d events/s (committed %12d, %+.1f%%)\n",
+                       n, x, c, 100.0 * (x - c) / c }'
+        fi
+    done
+else
+    echo "bench: no committed BENCH_engine.json — skipping delta"
+fi
+
+echo "==> figure byte-identity (spot check)"
+# Engine changes must be pure perf wins: regenerating a figure must
+# reproduce the committed bytes exactly. Full regeneration is
+# scripts/runall.sh (~15 min); this re-runs the fastest *deterministic*
+# figure binaries as a gate against behaviour drift. (fig6 and fig16
+# measure host wall-clock and are excluded — they never reproduce
+# byte-for-byte.)
+fig_tmp="$(mktemp)"
+trap 'rm -f "$report" "$bench_json" "$fig_tmp"' EXIT
+for fig in fig15_cost_reduction table1_website_impact; do
+    ./target/release/"$fig" > "$fig_tmp"
+    if ! cmp -s "$fig_tmp" "results/$fig.txt"; then
+        echo "figure drift: $fig output differs from committed results/" >&2
+        diff "results/$fig.txt" "$fig_tmp" | head -20 >&2 || true
+        exit 1
+    fi
+    echo "$fig: byte-identical to committed results/"
+done
+
 echo "==> all checks passed"

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Regenerates every artifact in results/ from the bench binaries.
-# Each run is deterministic (fixed seeds, simulated clock), so a clean
-# checkout reproduces these files byte-for-byte. Takes ~15 minutes.
+# Simulation-driven figures are deterministic (fixed seeds, simulated
+# clock), so a clean checkout reproduces them byte-for-byte — except
+# fig6_rule_latency and fig16_updates, which time real rule scans /
+# solver runs on the host wall clock and so vary with the machine and
+# its load. Takes ~15 minutes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
