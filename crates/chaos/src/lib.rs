@@ -1,0 +1,40 @@
+//! **yoda-chaos**: seeded fault-plan generation, orchestration, and
+//! availability-invariant checking for the Yoda testbed.
+//!
+//! The paper's central claim is *availability under churn*: Yoda keeps
+//! every established flow alive through instance, mux, store, and
+//! backend failures as long as a few preconditions hold (§6). This
+//! crate turns that claim into a repeatable, FoundationDB-style
+//! simulation-chaos harness:
+//!
+//! * [`plan`] — a [`ChaosPlan`](plan::ChaosPlan) is a deterministic
+//!   function of a single seed plus a budget. *Survivable* budgets keep
+//!   the schedule inside the availability preconditions; *unconstrained*
+//!   budgets deliberately violate them to test graceful degradation.
+//! * [`orchestrator`] — maps each fault onto the testbed's injection
+//!   helpers (crash/restart, partition/heal) or onto time-windowed
+//!   topology overrides (loss bursts, latency spikes, WAN blackholes),
+//!   runs the scenario, and collects a [`ChaosReport`](orchestrator::ChaosReport).
+//! * [`witness`] — an in-DC node that continuously verifies TCPStore
+//!   read-after-write on surviving replicas, with epoch guards so
+//!   verdicts never span a store-membership change.
+//! * [`invariants`] — post-run checks: flow conservation, zero broken
+//!   flows (survivable), bounded resolution (unconstrained),
+//!   controller/instance rule convergence, and probe-pool liveness.
+//!
+//! A failing seed reproduces bit-for-bit: `ChaosPlan::generate(seed, …)`
+//! rebuilds the identical schedule and `run_plan` the identical run
+//! (the report carries the engine's event digest to prove it).
+
+#![deny(warnings)]
+#![forbid(unsafe_code)]
+
+pub mod invariants;
+pub mod orchestrator;
+pub mod plan;
+pub mod witness;
+
+pub use invariants::check_invariants;
+pub use orchestrator::{apply_plan, run_plan, run_seed, ChaosReport, ChaosScenario};
+pub use plan::{ChaosPlan, Fault, FaultKind, PlanBudget, PlanShape};
+pub use witness::{StoreWitness, WITNESS_TICK_KIND};

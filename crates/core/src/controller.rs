@@ -71,12 +71,31 @@ struct Monitored {
     ep: Endpoint,
     awaiting: bool,
     failed: bool,
+    /// Administratively removed: never pinged again and never considered
+    /// recovered, even if the endpoint still answers (it may be alive —
+    /// removal is an operator decision, not a health verdict).
+    removed: bool,
+}
+
+impl Monitored {
+    fn new(ep: Endpoint) -> Self {
+        Monitored {
+            ep,
+            awaiting: false,
+            failed: false,
+            removed: false,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
 struct VipState {
     rules_text: String,
+    /// Instances currently serving the VIP (failed ones removed).
     instances: Vec<Addr>,
+    /// The intended assignment, failures included — the set a recovered
+    /// instance is re-admitted against.
+    assigned: Vec<Addr>,
     version: u64,
     ssl_cert_len: Option<u32>,
 }
@@ -99,6 +118,10 @@ pub struct Controller {
     addr: Addr,
     cfg: ControllerConfig,
     muxes: Vec<Addr>,
+    /// Every registered mux in registration order, failed ones included;
+    /// `muxes` is always this list filtered by liveness, so a recovered
+    /// mux rejoins ECMP at its original (deterministic) position.
+    all_muxes: Vec<Addr>,
     router: Option<Addr>,
     instances: Vec<Addr>,
     active: BTreeMap<Addr, bool>,
@@ -111,6 +134,9 @@ pub struct Controller {
     last_stats_at: SimTime,
     /// Failures detected by the monitor.
     pub failures_detected: u64,
+    /// Recoveries detected by the monitor (a previously failed endpoint
+    /// answering pings again).
+    pub recoveries_detected: u64,
     /// Instances activated by the autoscaler.
     pub instances_added: u64,
     /// CPU/request-rate samples over time (Figure 13's series).
@@ -126,6 +152,7 @@ impl Controller {
             addr,
             cfg,
             muxes: Vec::new(),
+            all_muxes: Vec::new(),
             router: None,
             instances: Vec::new(),
             active: BTreeMap::new(),
@@ -137,6 +164,7 @@ impl Controller {
             cpu_replies: BTreeMap::new(),
             last_stats_at: SimTime::ZERO,
             failures_detected: 0,
+            recoveries_detected: 0,
             instances_added: 0,
             cpu_history: Vec::new(),
             failure_times: Vec::new(),
@@ -150,6 +178,7 @@ impl Controller {
     /// Registers the L4 layer.
     pub fn set_l4(&mut self, router: Addr, muxes: Vec<Addr>) {
         self.router = Some(router);
+        self.all_muxes = muxes.clone();
         self.muxes = muxes;
     }
 
@@ -157,11 +186,7 @@ impl Controller {
     pub fn register_instance(&mut self, addr: Addr) {
         self.instances.push(addr);
         self.active.insert(addr, true);
-        self.monitored.push(Monitored {
-            ep: Endpoint::new(addr, 0),
-            awaiting: false,
-            failed: false,
-        });
+        self.monitored.push(Monitored::new(Endpoint::new(addr, 0)));
     }
 
     /// Registers a spare instance (monitored, idle until the autoscaler
@@ -170,29 +195,17 @@ impl Controller {
         self.instances.push(addr);
         self.active.insert(addr, false);
         self.spares.push(addr);
-        self.monitored.push(Monitored {
-            ep: Endpoint::new(addr, 0),
-            awaiting: false,
-            failed: false,
-        });
+        self.monitored.push(Monitored::new(Endpoint::new(addr, 0)));
     }
 
     /// Registers a backend server for health monitoring.
     pub fn register_backend(&mut self, ep: Endpoint) {
-        self.monitored.push(Monitored {
-            ep,
-            awaiting: false,
-            failed: false,
-        });
+        self.monitored.push(Monitored::new(ep));
     }
 
     /// Registers a TCPStore server for health monitoring.
     pub fn register_store(&mut self, addr: Addr) {
-        self.monitored.push(Monitored {
-            ep: Endpoint::new(addr, 0),
-            awaiting: false,
-            failed: false,
-        });
+        self.monitored.push(Monitored::new(Endpoint::new(addr, 0)));
     }
 
     /// Enables health monitoring of the L4 muxes themselves (the L4 LB
@@ -200,12 +213,8 @@ impl Controller {
     /// the shrunken mux set to the router and to the instances' SNAT
     /// egress lists).
     pub fn monitor_muxes(&mut self) {
-        for &m in &self.muxes.clone() {
-            self.monitored.push(Monitored {
-                ep: Endpoint::new(m, 0),
-                awaiting: false,
-                failed: false,
-            });
+        for &m in &self.all_muxes.clone() {
+            self.monitored.push(Monitored::new(Endpoint::new(m, 0)));
         }
     }
 
@@ -255,11 +264,30 @@ impl Controller {
             vip,
             VipState {
                 rules_text: rules_text.to_string(),
-                instances,
+                instances: instances.clone(),
+                assigned: instances,
                 version,
                 ssl_cert_len,
             },
         );
+    }
+
+    /// The rule text currently installed for each VIP — the controller's
+    /// side of the convergence fingerprint chaos invariants compare
+    /// against live instances.
+    pub fn vip_rules_text(&self) -> BTreeMap<Endpoint, String> {
+        self.vips
+            .iter()
+            .map(|(vip, s)| (*vip, s.rules_text.clone()))
+            .collect()
+    }
+
+    /// Instances currently serving `vip` (failed ones excluded).
+    pub fn vip_instances(&self, vip: Endpoint) -> Vec<Addr> {
+        self.vips
+            .get(&vip)
+            .map(|s| s.instances.clone())
+            .unwrap_or_default()
     }
 
     /// Removes a VIP: reverse order of addition (§5.2).
@@ -306,6 +334,7 @@ impl Controller {
         self.broadcast_backend_down(ctx, backend);
         if let Some(m) = self.monitored.iter_mut().find(|m| m.ep == backend) {
             m.failed = true;
+            m.removed = true;
         }
     }
 
@@ -391,6 +420,126 @@ impl Controller {
         // library falls back to surviving replicas (§6).
     }
 
+    /// Handles a previously failed endpoint answering pings again:
+    /// re-admits the component to the serving rotation. The mirror image
+    /// of [`Controller::on_failure`].
+    fn on_recovery(&mut self, ctx: &mut Ctx<'_>, ep: Endpoint) {
+        self.recoveries_detected += 1;
+        ctx.trace_note(format!("controller detected recovery of {ep}"));
+        let addr = ep.addr;
+        let me = self.me();
+        if self.all_muxes.contains(&addr) {
+            // A mux rejoined ECMP at its original position. It restarted
+            // cold, so push every VIP map (version-bumped, staggered as
+            // usual) before the router update widens ECMP onto it —
+            // otherwise it would blackhole re-hashed flows.
+            self.muxes = self
+                .all_muxes
+                .iter()
+                .copied()
+                .filter(|m| *m == addr || self.muxes.contains(m))
+                .collect();
+            let vips: Vec<Endpoint> = self.vips.keys().copied().collect();
+            for vip in vips {
+                let Some(state) = self.vips.get_mut(&vip) else {
+                    continue;
+                };
+                state.version = self.next_version;
+                self.next_version += 1;
+                let instances = state.instances.clone();
+                let version = state.version;
+                self.push_vip_map(ctx, vip.addr, instances, version);
+            }
+            let settle = self.cfg.mux_stagger * self.muxes.len() as u64;
+            if let Some(router) = self.router {
+                let msg = CtrlMsg::SetMuxes {
+                    muxes: self.muxes.clone(),
+                };
+                ctx.send_after(settle, msg.into_packet(me, router));
+            }
+            for &inst in &self.instances {
+                let msg = InstanceCtrl::SetMuxes {
+                    muxes: self.muxes.clone(),
+                };
+                ctx.send_after(settle, msg.into_packet(me, inst));
+            }
+            return;
+        }
+        if self.active.contains_key(&addr) {
+            // A Yoda instance rejoined. Spares that never served stay
+            // idle; anything that appears in a VIP's intended assignment
+            // is re-installed and re-mapped. The instance restarted with
+            // empty state: give it the current mux set, then its rules,
+            // then add it back to the mux maps.
+            let was_serving = self.vips.values().any(|s| s.assigned.contains(&addr));
+            if !was_serving {
+                return;
+            }
+            self.active.insert(addr, true);
+            let msg = InstanceCtrl::SetMuxes {
+                muxes: self.muxes.clone(),
+            };
+            ctx.send(msg.into_packet(me, addr));
+            // The instance restarted with an empty dead-backend set; any
+            // backend that is still down must be re-declared dead or the
+            // fresh rule tables would split traffic onto it.
+            let dead: Vec<Endpoint> = self
+                .monitored
+                .iter()
+                .filter(|m| m.failed && !m.removed && m.ep.port == 80)
+                .map(|m| m.ep)
+                .collect();
+            for backend in dead {
+                ctx.send(InstanceCtrl::BackendDown { backend }.into_packet(me, addr));
+            }
+            let vips: Vec<Endpoint> = self.vips.keys().copied().collect();
+            for vip in vips {
+                let serving: Vec<Addr> = match self.vips.get(&vip) {
+                    Some(s) if s.assigned.contains(&addr) => s
+                        .assigned
+                        .iter()
+                        .copied()
+                        .filter(|a| {
+                            *a == addr || s.instances.contains(a)
+                        })
+                        .collect(),
+                    _ => continue,
+                };
+                let Some(state) = self.vips.get_mut(&vip) else {
+                    continue;
+                };
+                let msg = InstanceCtrl::InstallVip {
+                    vip,
+                    rules_text: state.rules_text.clone(),
+                    ssl_cert_len: state.ssl_cert_len,
+                };
+                ctx.send(msg.into_packet(me, addr));
+                // Rebuilt from `assigned` order so the post-recovery list
+                // is deterministic and position-stable.
+                state.instances = serving;
+                state.version = self.next_version;
+                self.next_version += 1;
+                let instances = state.instances.clone();
+                let version = state.version;
+                self.push_vip_map(ctx, vip.addr, instances, version);
+            }
+            return;
+        }
+        if ep.port == 80 {
+            // A backend came back: lift the death sentence on every
+            // active instance so its flows can be balanced onto it again
+            // (probe pools re-admit it after fresh probe rounds).
+            for &inst in &self.instances {
+                if self.active.get(&inst).copied().unwrap_or(false) {
+                    let msg = InstanceCtrl::BackendUp { backend: ep };
+                    ctx.send(msg.into_packet(me, inst));
+                }
+            }
+        }
+        // Store-server recovery needs no action: the client library's
+        // hash ring still includes it and will reach it again.
+    }
+
     /// Activates `n` spare instances: install every VIP's rules, then add
     /// them to the mux mappings.
     pub fn activate_spares(&mut self, ctx: &mut Ctx<'_>, n: usize) -> usize {
@@ -415,6 +564,9 @@ impl Controller {
                 };
                 ctx.send(msg.into_packet(me, spare));
                 state.instances.push(spare);
+                if !state.assigned.contains(&spare) {
+                    state.assigned.push(spare);
+                }
                 state.version = self.next_version;
                 self.next_version += 1;
                 let instances = state.instances.clone();
@@ -438,13 +590,20 @@ impl Controller {
         for ep in newly_failed {
             self.on_failure(ctx, ep);
         }
-        // Then: ping everyone not yet declared failed.
+        // Then: ping everyone still managed — including endpoints already
+        // declared failed. A failed endpoint that answers again (restarted
+        // process, healed partition) is re-admitted by `on_recovery`;
+        // without this the controller would strand healed components
+        // outside the rotation forever. Administratively removed
+        // endpoints are the exception: operator decisions stick.
         let me = Endpoint::new(self.addr, 0);
         for m in &mut self.monitored {
-            if m.failed {
+            if m.removed {
                 continue;
             }
-            m.awaiting = true;
+            if !m.failed {
+                m.awaiting = true;
+            }
             ctx.send(Packet::new(me, m.ep, PROTO_PING, Bytes::new()));
         }
         ctx.set_timer(self.cfg.ping_interval, TimerToken::new(PING_KIND));
@@ -500,15 +659,24 @@ impl Node for Controller {
         self.last_stats_at = ctx.now();
     }
 
-    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
         match pkt.protocol {
             PROTO_PING => {
-                // A pong: clear the awaiting flag.
+                // A pong: clear the awaiting flag; a pong from an
+                // endpoint previously declared dead means it recovered.
+                let mut recovered = Vec::new();
                 for m in &mut self.monitored {
                     if m.ep.addr == pkt.src.addr && (m.ep.port == 0 || m.ep.port == pkt.src.port)
                     {
                         m.awaiting = false;
+                        if m.failed && !m.removed {
+                            m.failed = false;
+                            recovered.push(m.ep);
+                        }
                     }
+                }
+                for ep in recovered {
+                    self.on_recovery(ctx, ep);
                 }
             }
             PROTO_CTRL => {

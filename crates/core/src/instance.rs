@@ -331,6 +331,16 @@ impl YodaInstance {
         &self.prober
     }
 
+    /// Canonical text of every installed VIP rule table, keyed by VIP —
+    /// the convergence fingerprint chaos invariants compare across live
+    /// instances and against the controller.
+    pub fn vip_rules_text(&self) -> BTreeMap<Endpoint, String> {
+        self.vips
+            .iter()
+            .map(|(vip, cfg)| (*vip, cfg.rules.to_text()))
+            .collect()
+    }
+
     /// Removes a VIP's rules (existing flows keep tunneling).
     pub fn remove_vip(&mut self, vip: Endpoint) {
         self.vips.remove(&vip);

@@ -106,6 +106,10 @@ pub struct Testbed {
     pub catalog: Arc<SiteCatalog>,
     /// Yoda instance configuration used (for spare restoration).
     pub yoda_cfg: YodaConfig,
+    /// Store server configuration used (for store restoration).
+    pub store_cfg: StoreServerConfig,
+    /// Backend configuration used (for backend restoration).
+    pub backend_cfg: ServerConfig,
     next_client_host: u8,
 }
 
@@ -247,6 +251,8 @@ impl Testbed {
             vips,
             catalog,
             yoda_cfg: cfg.yoda,
+            store_cfg: cfg.store,
+            backend_cfg: cfg.backend,
             next_client_host: 1,
         };
         // Install the default equal-split policy for every service via
@@ -363,6 +369,95 @@ impl Testbed {
     pub fn fail_backend_at(&mut self, i: usize, at: SimTime) {
         let id = self.backends[i];
         self.engine.schedule(at, move |eng| eng.fail_node(id));
+    }
+
+    /// Fails store server `i` at simulated time `at`.
+    pub fn fail_store_at(&mut self, i: usize, at: SimTime) {
+        let id = self.stores[i];
+        self.engine.schedule(at, move |eng| eng.fail_node(id));
+    }
+
+    /// Fails mux `i` at simulated time `at`.
+    pub fn fail_mux_at(&mut self, i: usize, at: SimTime) {
+        let id = self.muxes[i];
+        self.engine.schedule(at, move |eng| eng.fail_node(id));
+    }
+
+    /// Fails the controller at simulated time `at` (data plane keeps
+    /// forwarding; health monitoring and policy pushes stop).
+    pub fn fail_controller_at(&mut self, at: SimTime) {
+        let id = self.controller;
+        self.engine.schedule(at, move |eng| eng.fail_node(id));
+    }
+
+    /// Restarts Yoda instance `i` at `at` **with fresh state** (empty flow
+    /// table, no VIPs). The controller re-detects it via pings and
+    /// reinstalls its rules and mux mappings.
+    pub fn restore_instance_at(&mut self, i: usize, at: SimTime) {
+        let id = self.instances[i];
+        let addr = self.instance_addrs[i];
+        let cfg = self.yoda_cfg.clone();
+        let store_addrs = self.store_addrs.clone();
+        let mux_addrs = self.mux_addrs.clone();
+        self.engine.schedule(at, move |eng| {
+            eng.restore_node(
+                id,
+                Box::new(YodaInstance::new(cfg, addr, &store_addrs, mux_addrs)),
+            );
+        });
+    }
+
+    /// Restarts store server `i` at `at` with an empty table. Keys it held
+    /// survive on their other replica as long as fewer than the
+    /// replication factor of stores are down at once.
+    pub fn restore_store_at(&mut self, i: usize, at: SimTime) {
+        let id = self.stores[i];
+        let addr = self.store_addrs[i];
+        let cfg = self.store_cfg;
+        self.engine.schedule(at, move |eng| {
+            eng.restore_node(id, Box::new(StoreServer::new(cfg, addr)));
+        });
+    }
+
+    /// Restarts mux `i` at `at` with a cold flow table. The controller
+    /// re-detects it and pushes the current VIP maps before re-adding it
+    /// to the router's ECMP set.
+    pub fn restore_mux_at(&mut self, i: usize, at: SimTime) {
+        let id = self.muxes[i];
+        let addr = self.mux_addrs[i];
+        self.engine.schedule(at, move |eng| {
+            eng.restore_node(id, Box::new(Mux::new(addr)));
+        });
+    }
+
+    /// Restarts backend `i` at `at`. The controller broadcasts
+    /// `BackendUp` once it sees pongs again.
+    pub fn restore_backend_at(&mut self, i: usize, at: SimTime) {
+        let id = self.backends[i];
+        let service = i % self.service_backends.len();
+        let ep = self.service_backends[service][i / self.service_backends.len()];
+        let cfg = self.backend_cfg.clone();
+        let catalog = self.catalog.clone();
+        self.engine.schedule(at, move |eng| {
+            eng.restore_node(id, Box::new(OriginServer::new(cfg, ep, catalog)));
+        });
+    }
+
+    /// Partitions a node (both directions) at `at` without killing it:
+    /// timers keep firing but no packets get in or out.
+    pub fn partition_at(&mut self, id: NodeId, at: SimTime) {
+        self.engine.schedule(at, move |eng| eng.partition_node(id));
+    }
+
+    /// Asymmetric partition: cut only ingress and/or egress.
+    pub fn partition_dirs_at(&mut self, id: NodeId, cut_in: bool, cut_out: bool, at: SimTime) {
+        self.engine
+            .schedule(at, move |eng| eng.partition_node_dirs(id, cut_in, cut_out));
+    }
+
+    /// Heals a node's partition at `at`.
+    pub fn heal_at(&mut self, id: NodeId, at: SimTime) {
+        self.engine.schedule(at, move |eng| eng.heal_node(id));
     }
 
     /// Mean CPU utilisation across live active instances right now.

@@ -150,6 +150,11 @@ pub struct BrowserClient {
     pub completed: u64,
     /// Successfully completed pages.
     pub pages_completed: u64,
+    /// Every fetch attempt ever issued (retries issue a fresh fetch).
+    /// Conservation invariant: `started_fetches == completed + timeouts +
+    /// resets + session_resets + in_flight()` — no fetch ever vanishes
+    /// unaccounted. The chaos harness asserts this after every run.
+    pub started_fetches: u64,
     /// Local ports of fetches that ended broken (for debugging traces).
     pub broken_ports: Vec<u16>,
 }
@@ -179,8 +184,14 @@ impl BrowserClient {
             broken_flows: 0,
             completed: 0,
             pages_completed: 0,
+            started_fetches: 0,
             broken_ports: Vec::new(),
         }
+    }
+
+    /// Object fetches currently in flight (issued, not yet resolved).
+    pub fn in_flight(&self) -> usize {
+        self.fetches.len()
     }
 
     /// Fraction of fetches that ended broken (never completed).
@@ -280,6 +291,7 @@ impl BrowserClient {
             last_progress: ctx.now(),
         };
         self.fetches.insert(id, fetch);
+        self.started_fetches += 1;
         self.by_conn.insert(conn, id);
         if let Some(p) = self.processes.get_mut(process) {
             p.active_fetch = Some(id);

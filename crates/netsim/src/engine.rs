@@ -33,6 +33,12 @@ struct NodeMeta {
     name: Rc<str>,
     zone: Zone,
     alive: bool,
+    /// Partitioned ingress: packets addressed to this node are dropped at
+    /// delivery time. Unlike `alive == false`, the node keeps running
+    /// (its timers still fire) — it just can't hear the network.
+    cut_in: bool,
+    /// Partitioned egress: packets this node sends never reach the wire.
+    cut_out: bool,
     /// Bumped on restore so stale timers from before a crash never fire.
     generation: u64,
     addrs: Vec<Addr>,
@@ -159,6 +165,13 @@ impl EngineCore {
         let to_zone = self.meta[to_id].zone;
         self.packets_sent += 1;
         self.record_packet(from, TraceKind::PacketSent, &pkt, "");
+        if self.meta[from.0].cut_out {
+            // Egress-partitioned sender: the packet never reaches the
+            // wire, consuming no link randomness.
+            self.packets_dropped += 1;
+            self.record_packet(from, TraceKind::PacketDropped, &pkt, "partitioned");
+            return;
+        }
         let now = self.time + extra_delay;
         let wire = pkt.wire_len();
         match self
@@ -177,8 +190,39 @@ impl EngineCore {
                 let seq = self.seq;
                 self.seq += 1;
                 let dst = to_id as u32;
+                // Roll duplication before the primary arm consumes `pkt`.
+                // Only consulted (and only consuming RNG) when the
+                // effective `duplicate` knob is nonzero, so topologies
+                // without it replay identically.
+                let dup_pkt = if self.topology.roll_duplicate(from_zone, to_zone, &mut self.rng)
+                {
+                    Some(pkt.clone())
+                } else {
+                    None
+                };
                 self.wheel
                     .arm(at.as_micros(), seq, 0, WheelItem::Packet { pkt, dst });
+                if let Some(copy) = dup_pkt {
+                    // Second, independent trip through the link model
+                    // (own jitter/loss/queue rolls). Armed after the
+                    // primary: the wheel requires strictly increasing seq
+                    // at arm time.
+                    if let Some(at2) =
+                        self.topology
+                            .delivery_time(now, from_zone, to_zone, wire, &mut self.rng)
+                    {
+                        self.packets_sent += 1;
+                        self.record_packet(from, TraceKind::PacketDuplicated, &copy, "");
+                        let seq2 = self.seq;
+                        self.seq += 1;
+                        self.wheel.arm(
+                            at2.as_micros(),
+                            seq2,
+                            0,
+                            WheelItem::Packet { pkt: copy, dst },
+                        );
+                    }
+                }
             }
             None => {
                 self.packets_dropped += 1;
@@ -407,6 +451,8 @@ impl Engine {
             name: Rc::from(name.into()),
             zone,
             alive: true,
+            cut_in: false,
+            cut_out: false,
             generation: 0,
             addrs: vec![addr],
         });
@@ -464,6 +510,52 @@ impl Engine {
             };
             self.core.trace.record(ev);
         }
+    }
+
+    /// Partitions a node from the network without killing it: packets to
+    /// and/or from it are dropped, but the node keeps running and its
+    /// timers keep firing — modelling a switch/NIC fault rather than a
+    /// crash. `cut_in` blocks ingress (delivery-time drop, including
+    /// packets already in flight), `cut_out` blocks egress. Passing both
+    /// `false` is equivalent to [`Engine::heal_node`].
+    pub fn partition_node_dirs(&mut self, id: NodeId, cut_in: bool, cut_out: bool) {
+        let meta = &mut self.core.meta[id.0];
+        meta.cut_in = cut_in;
+        meta.cut_out = cut_out;
+        if self.core.trace.is_enabled() {
+            let detail = match (cut_in, cut_out) {
+                (true, true) => "partitioned",
+                (true, false) => "partitioned (ingress)",
+                (false, true) => "partitioned (egress)",
+                (false, false) => "healed",
+            };
+            let ev = TraceEvent {
+                time: self.core.time,
+                node: self.core.meta[id.0].name.clone(),
+                kind: TraceKind::Note,
+                src: None,
+                dst: None,
+                protocol: None,
+                detail: detail.to_string(),
+            };
+            self.core.trace.record(ev);
+        }
+    }
+
+    /// Fully partitions a node (both directions).
+    pub fn partition_node(&mut self, id: NodeId) {
+        self.partition_node_dirs(id, true, true);
+    }
+
+    /// Heals a node's partition (both directions).
+    pub fn heal_node(&mut self, id: NodeId) {
+        self.partition_node_dirs(id, false, false);
+    }
+
+    /// Whether the node is partitioned in either direction.
+    pub fn is_partitioned(&self, id: NodeId) -> bool {
+        let meta = &self.core.meta[id.0];
+        meta.cut_in || meta.cut_out
     }
 
     /// Restores a failed node **with fresh state**: the crashed process is
@@ -651,6 +743,16 @@ impl Engine {
                         self.core.packets_dropped += 1;
                         self.core
                             .record_packet(id, TraceKind::PacketDropped, &pkt, "dead node");
+                        return true;
+                    }
+                    if self.core.meta[id.0].cut_in {
+                        // Ingress-partitioned: the node is running but
+                        // cannot hear the network; in-flight packets die
+                        // here too. Digest already folded above, so a
+                        // partition never reorders surviving events.
+                        self.core.packets_dropped += 1;
+                        self.core
+                            .record_packet(id, TraceKind::PacketDropped, &pkt, "partitioned");
                         return true;
                     }
                     self.core
@@ -967,5 +1069,120 @@ mod tests {
         );
         eng.run_for(SimTime::from_millis(10));
         assert_eq!(eng.node_ref::<Ponger>(b).received, 1);
+    }
+
+    #[test]
+    fn partitioned_node_hears_nothing_but_stays_alive() {
+        let (mut eng, a, b) = two_node_engine(false);
+        eng.partition_node(b);
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(eng.node_ref::<Ponger>(b).received, 0);
+        assert_eq!(eng.node_ref::<Pinger>(a).replies, 0);
+        // Unlike a crash, the node is still alive and its timers fire.
+        assert!(eng.is_alive(b));
+        assert!(eng.is_partitioned(b));
+        // The pinger's own timer (not network-dependent) still fired.
+        assert_eq!(eng.node_ref::<Pinger>(a).timer_fires, 1);
+    }
+
+    #[test]
+    fn asymmetric_node_partition_cuts_one_direction() {
+        // Egress-only cut on the ponger: it hears the ping but its reply
+        // dies on the way out.
+        let (mut eng, a, b) = two_node_engine(false);
+        eng.partition_node_dirs(b, false, true);
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(eng.node_ref::<Ponger>(b).received, 1);
+        assert_eq!(eng.node_ref::<Pinger>(a).replies, 0);
+        eng.heal_node(b);
+        assert!(!eng.is_partitioned(b));
+    }
+
+    #[test]
+    fn heal_restores_delivery_in_flight_drops_stay_dropped() {
+        let (mut eng, a, b) = two_node_engine(false);
+        eng.partition_node(b);
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(eng.node_ref::<Pinger>(a).replies, 0);
+        eng.heal_node(b);
+        // New traffic flows again after heal.
+        eng.with_node_ctx::<Pinger>(a, |p, ctx| {
+            let me = Endpoint::new(Addr::new(10, 0, 0, 1), 0);
+            let pkt = Packet::new(me, Endpoint::new(p.peer, 0), PROTO_PING, Bytes::new());
+            ctx.send(pkt);
+        });
+        eng.run_for(SimTime::from_millis(10));
+        assert_eq!(eng.node_ref::<Pinger>(a).replies, 1);
+    }
+
+    #[test]
+    fn duplicating_link_delivers_twice_and_traces() {
+        let mut topo = Topology::uniform(SimTime::from_millis(1));
+        let mut dup = *topo.link(Zone::Dc, Zone::Dc);
+        dup.duplicate = 1.0;
+        topo.set_link(Zone::Dc, Zone::Dc, dup);
+        let mut eng = Engine::with_topology(1, topo);
+        eng.enable_trace(64);
+        let a = eng.add_node(
+            "pinger",
+            Addr::new(10, 0, 0, 1),
+            Zone::Dc,
+            Box::new(Pinger {
+                peer: Addr::new(10, 0, 0, 2),
+                replies: 0,
+                timer_fires: 0,
+                cancel_next: true,
+            }),
+        );
+        let b = eng.add_node(
+            "ponger",
+            Addr::new(10, 0, 0, 2),
+            Zone::Dc,
+            Box::new(Ponger { received: 0 }),
+        );
+        eng.run_for(SimTime::from_millis(10));
+        // Ping duplicated => ponger hears it twice; each reply duplicated
+        // => pinger hears (at least) twice per reply.
+        assert_eq!(eng.node_ref::<Ponger>(b).received, 2);
+        assert_eq!(eng.node_ref::<Pinger>(a).replies, 4);
+        let dups = eng
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::PacketDuplicated)
+            .count();
+        assert!(dups >= 3, "expected duplication trace events, got {dups}");
+    }
+
+    #[test]
+    fn duplication_runs_are_deterministic() {
+        let run = || {
+            let mut topo = Topology::uniform(SimTime::from_millis(1));
+            let mut dup = *topo.link(Zone::Dc, Zone::Dc);
+            dup.duplicate = 0.5;
+            dup.jitter = SimTime::from_micros(200);
+            topo.set_link(Zone::Dc, Zone::Dc, dup);
+            let mut eng = Engine::with_topology(9, topo);
+            let _ = eng.add_node(
+                "pinger",
+                Addr::new(10, 0, 0, 1),
+                Zone::Dc,
+                Box::new(Pinger {
+                    peer: Addr::new(10, 0, 0, 2),
+                    replies: 0,
+                    timer_fires: 0,
+                    cancel_next: true,
+                }),
+            );
+            let _ = eng.add_node(
+                "ponger",
+                Addr::new(10, 0, 0, 2),
+                Zone::Dc,
+                Box::new(Ponger { received: 0 }),
+            );
+            eng.run_for(SimTime::from_millis(50));
+            (eng.event_digest(), eng.packets_sent())
+        };
+        assert_eq!(run(), run());
     }
 }

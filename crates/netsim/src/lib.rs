@@ -64,5 +64,5 @@ pub use packet::{
 pub use service::ServiceQueue;
 pub use stats::{Counter, Histogram};
 pub use time::SimTime;
-pub use topology::{LinkSpec, Topology, Zone};
+pub use topology::{LinkSpec, OverrideId, Topology, Zone};
 pub use trace::{TraceEvent, TraceKind, TraceSink};

@@ -153,6 +153,10 @@ pub struct TcpSocket {
     /// Outstanding RTT measurement: (segment end seq, send time). Karn's
     /// rule: invalidated on retransmission.
     rtt_probe: Option<(SeqNum, SimTime)>,
+    /// `snd_nxt` at the last RTO (NewReno-style recovery point). While
+    /// `snd_una` is below it, every fresh ACK retransmits the next head
+    /// immediately instead of waiting out the backed-off RTO.
+    recover: Option<SeqNum>,
 
     // Receive side.
     irs: SeqNum,
@@ -237,6 +241,7 @@ impl TcpSocket {
             retries: 0,
             rtx_deadline: None,
             rtt_probe: None,
+            recover: None,
             irs: SeqNum::new(0),
             rcv_nxt: SeqNum::new(0),
             assembled: BytesMut::new(),
@@ -400,7 +405,13 @@ impl TcpSocket {
             SocketState::SynReceived => {
                 vec![self.make_segment(self.iss, Flags::SYN_ACK, Bytes::new())]
             }
-            _ => self.retransmit_head(),
+            _ => {
+                // Everything in flight is presumed lost; fresh ACKs below
+                // this point drive go-back-N retransmission (see
+                // `process_ack`).
+                self.recover = Some(self.snd_nxt);
+                self.retransmit_head()
+            }
         }
     }
 
@@ -617,6 +628,22 @@ impl TcpSocket {
                 .cwnd
                 .saturating_add((mss * mss / self.cwnd.max(1)).max(1));
         }
+        // RTO recovery (the "ACK clocking" promised by `retransmit_head`):
+        // a partial ACK means the rest of the lost flight is still missing,
+        // so retransmit the next head per fresh ACK — one segment per RTT —
+        // rather than one per exponentially backed-off RTO. Once the ACK
+        // covers the recovery point, drop the backoff (Karn froze the RTT
+        // estimator during the episode, so `rto` never decays on its own).
+        if let Some(rec) = self.recover {
+            if ack.lt(rec) {
+                self.retransmitted_segments += 1;
+                self.rtt_probe = None;
+                out.extend(self.retransmit_head());
+            } else {
+                self.recover = None;
+                self.rto = self.estimated_rto();
+            }
+        }
         // Restart or clear the retransmission timer.
         let fin_outstanding = self.fin_sent && self.snd_una.lt(self.snd_nxt);
         if self.inflight_bytes() > 0 || fin_outstanding {
@@ -655,10 +682,20 @@ impl TcpSocket {
             }
         };
         self.srtt = Some(srtt);
-        let rto_us = srtt.as_micros() + 4 * self.rttvar.as_micros();
-        self.rto = SimTime::from_micros(
-            rto_us.clamp(self.cfg.min_rto.as_micros(), self.cfg.max_rto.as_micros()),
-        );
+        self.rto = self.estimated_rto();
+    }
+
+    /// RTO from the current Jacobson estimate (min_rto when unsampled).
+    fn estimated_rto(&self) -> SimTime {
+        match self.srtt {
+            Some(srtt) => {
+                let rto_us = srtt.as_micros() + 4 * self.rttvar.as_micros();
+                SimTime::from_micros(
+                    rto_us.clamp(self.cfg.min_rto.as_micros(), self.cfg.max_rto.as_micros()),
+                )
+            }
+            None => self.cfg.min_rto,
+        }
     }
 
     fn process_data(&mut self, seg: &Segment, now: SimTime, out: &mut Vec<Segment>) {

@@ -433,6 +433,7 @@ mod tests {
                     jitter: SimTime::ZERO,
                     bandwidth_bps: None,
                     loss,
+                    duplicate: 0.0,
                 },
             );
         }

@@ -411,6 +411,69 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_replica_does_not_inflate_timeout_accounting() {
+        // §6 accounting contract: a `TimedOut` outcome (and the `timeouts`
+        // counter) means *no* replica answered. While one replica of a key
+        // is partitioned, sets still complete `Done { acks: 1 }` at the
+        // op deadline — slower, but not a timeout — and after the heal the
+        // client returns to fast two-ack completion with the counter still
+        // at zero. A partition must not permanently poison the stats.
+        let (mut eng, id, server_ids) = build(2, 3);
+        // Drain the on_start script first so its events don't interleave.
+        eng.run_for(SimTime::from_millis(5));
+        let primary = {
+            let node = eng.node_ref::<ClientNode>(id);
+            node.client.ring().replicas(b"flow:p", 2)[0]
+        };
+        let victim = *server_ids
+            .iter()
+            .find(|&&sid| eng.node_name(sid).contains(&primary.to_string()))
+            .expect("primary exists");
+        eng.partition_node(victim);
+        eng.schedule(SimTime::from_millis(10), move |eng| {
+            eng.with_node_ctx::<ClientNode>(id, |n, ctx| {
+                n.client
+                    .set(ctx, Bytes::from_static(b"flow:p"), Bytes::from_static(b"P1"), 10);
+            });
+        });
+        eng.run_for(SimTime::from_millis(200));
+        eng.heal_node(victim);
+        eng.schedule(SimTime::from_millis(10), move |eng| {
+            eng.with_node_ctx::<ClientNode>(id, |n, ctx| {
+                n.client
+                    .set(ctx, Bytes::from_static(b"flow:p"), Bytes::from_static(b"P2"), 11);
+            });
+        });
+        eng.run_for(SimTime::from_secs(1));
+        eng.schedule(SimTime::ZERO, move |eng| {
+            eng.with_node_ctx::<ClientNode>(id, |n, ctx| {
+                n.client.get(ctx, Bytes::from_static(b"flow:p"), 12);
+            });
+        });
+        eng.run_for(SimTime::from_secs(1));
+        let node = eng.node_ref::<ClientNode>(id);
+        let ev = |tag| {
+            node.events
+                .iter()
+                .find(|e| e.tag == tag)
+                .unwrap_or_else(|| panic!("event {tag} missing"))
+        };
+        // During the partition: one ack, completed at the op deadline.
+        let during = ev(10);
+        assert_eq!(during.outcome, StoreOutcome::Done { acks: 1 });
+        assert!(during.latency >= StoreClientConfig::default().op_timeout);
+        // After the heal: both acks again, back at DC round-trip speed.
+        let after = ev(11);
+        assert_eq!(after.outcome, StoreOutcome::Done { acks: 2 });
+        assert!(after.latency < SimTime::from_millis(10));
+        // Reads see the healed write.
+        assert_eq!(ev(12).outcome, StoreOutcome::Value(Bytes::from_static(b"P2")));
+        // The partition never counted as a timeout: a replica answered
+        // every op.
+        assert_eq!(node.client.timeouts, 0);
+    }
+
+    #[test]
     fn latency_histograms_populated() {
         let (mut eng, id, _) = build(2, 5);
         eng.run_for(SimTime::from_secs(1));

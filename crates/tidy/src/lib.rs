@@ -70,6 +70,7 @@ const SIM_CRATES: &[&str] = &[
     "crates/core/src/",
     "crates/tcpstore/src/",
     "crates/l4lb/src/",
+    "crates/chaos/src/",
 ];
 
 /// Function names that root the hot closure: the per-packet and

@@ -39,6 +39,14 @@ if (( tidy_ok != 0 )); then
     exit "$tidy_ok"
 fi
 
+echo "==> chaos repro hook (pinned seed)"
+# The full seeded matrix (20 survivable + 5 unconstrained plans) already
+# ran under `cargo test`; this replays one pinned seed through the
+# CHAOS_SEED one-command repro hook so the hook itself can't rot.
+chaos_out="$(CHAOS_SEED=7 cargo test --release -q --test chaos_matrix one_seed -- --nocapture)"
+grep -m1 "ChaosPlan { seed: 7" <<< "$chaos_out" \
+    || { echo "chaos repro hook produced no plan output" >&2; exit 1; }
+
 echo "==> bench_engine (smoke)"
 # Events/sec delta vs the committed BENCH_engine.json. Report-only:
 # wall-clock throughput is machine-dependent, so a delta here must never

@@ -11,11 +11,13 @@
 //! * [`assign`] — VIP→instance assignment (ILP + heuristics)
 //! * [`trace`] — synthetic production traffic trace generator
 //! * [`core`] — the Yoda L7 LB itself (instances, rules, controller, scenarios)
+//! * [`chaos`] — seeded fault-plan generation, orchestration, invariants
 //! * [`proxy`] — HAProxy-style baseline L7 proxy
 
 #![deny(warnings)]
 
 pub use yoda_assign as assign;
+pub use yoda_chaos as chaos;
 pub use yoda_core as core;
 pub use yoda_http as http;
 pub use yoda_l4lb as l4lb;

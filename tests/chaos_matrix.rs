@@ -1,0 +1,84 @@
+//! Seeded chaos matrix (tier-1).
+//!
+//! Each seed deterministically generates a fault plan and replays it
+//! against the full testbed. Survivable plans respect Yoda's §6
+//! availability preconditions and must produce **zero** user-visible
+//! breakage; unconstrained plans violate them on purpose and must only
+//! degrade gracefully (every fetch resolves in bounded time, nothing
+//! hangs, no flow vanishes from the conservation counters).
+//!
+//! A failing seed prints its full plan; rerun just that seed with e.g.
+//! `CHAOS_SEED=13 cargo test --release --test chaos_matrix one_seed`.
+//! Seed counts scale up via `CHAOS_SURVIVABLE_SEEDS` /
+//! `CHAOS_UNCONSTRAINED_SEEDS` for longer local or CI soak runs.
+
+use yoda::chaos::{run_seed, ChaosScenario};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn assert_seed_ok(seed: u64, sc: &ChaosScenario) {
+    let report = run_seed(seed, sc);
+    assert!(
+        report.ok(),
+        "chaos seed {seed} violated invariants — the plan below regenerates \
+         bit-for-bit from the seed alone\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn survivable_seeds_keep_every_flow_alive() {
+    let n = env_u64("CHAOS_SURVIVABLE_SEEDS", 20);
+    let sc = ChaosScenario::survivable();
+    for seed in 0..n {
+        assert_seed_ok(seed, &sc);
+    }
+}
+
+#[test]
+fn unconstrained_seeds_degrade_gracefully() {
+    let n = env_u64("CHAOS_UNCONSTRAINED_SEEDS", 5);
+    let sc = ChaosScenario::unconstrained();
+    // Disjoint seed range from the survivable matrix, so the two tests
+    // never mistake one another's plans.
+    for seed in 1000..1000 + n {
+        assert_seed_ok(seed, &sc);
+    }
+}
+
+/// One-command repro hook: replays exactly one seed (survivable by
+/// default, unconstrained when `CHAOS_UNCONSTRAINED=1`).
+#[test]
+fn one_seed() {
+    let Ok(seed) = std::env::var("CHAOS_SEED") else {
+        return;
+    };
+    let Ok(seed) = seed.parse::<u64>() else {
+        panic!("CHAOS_SEED must be an integer");
+    };
+    let sc = if std::env::var("CHAOS_UNCONSTRAINED").is_ok() {
+        ChaosScenario::unconstrained()
+    } else {
+        ChaosScenario::survivable()
+    };
+    let report = run_seed(seed, &sc);
+    println!("{}", report.render());
+    assert!(report.ok(), "seed {seed} failed\n{}", report.render());
+}
+
+/// The same seed must replay byte-identically: identical engine digest,
+/// identical event count, identical rendered report.
+#[test]
+fn fixed_seed_chaos_run_is_byte_identical() {
+    let sc = ChaosScenario::survivable();
+    let a = run_seed(7, &sc);
+    let b = run_seed(7, &sc);
+    assert_eq!(a.digest, b.digest, "digest diverged across identical runs");
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.render(), b.render());
+}

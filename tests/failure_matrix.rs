@@ -67,6 +67,86 @@ fn no_flow_breaks_wherever_the_failure_lands() {
     assert!(any_recovery, "the sweep never exercised TCPStore recovery");
 }
 
+/// Mirrors the instance sweep for TCPStore: kill replica server 0 at a
+/// sweep of times across every flow phase, then an instance 200 ms
+/// later, so whatever flow state was written to the dead replica must
+/// be recovered from its surviving partner (§6: keys are not
+/// re-replicated; reads fall back).
+#[test]
+fn no_flow_breaks_wherever_the_store_kill_lands() {
+    for fail_ms in (1040..1400).step_by(60).chain([1800, 2500]) {
+        let mut tb = Testbed::build(TestbedConfig {
+            seed: 11,
+            num_instances: 2,
+            num_stores: 3,
+            num_backends: 4,
+            num_muxes: 2,
+            num_services: 1,
+            pages_per_site: 10,
+            ..TestbedConfig::default()
+        });
+        tb.engine.run_for(SimTime::from_secs(1));
+        let browser = tb.add_browser(
+            0,
+            BrowserConfig {
+                processes: 2,
+                max_pages: Some(2),
+                http_timeout: SimTime::from_secs(30),
+                ..BrowserConfig::default()
+            },
+        );
+        tb.fail_store_at(0, SimTime::from_millis(fail_ms));
+        tb.fail_instance_at(0, SimTime::from_millis(fail_ms + 200));
+        tb.engine.run_for(SimTime::from_secs(120));
+        let b = tb.engine.node_ref::<BrowserClient>(browser);
+        assert_eq!(
+            b.broken_flows, 0,
+            "store kill at {fail_ms} ms broke a flow (completed {})",
+            b.completed
+        );
+        assert_eq!(b.pages_completed, 4, "store kill at {fail_ms} ms");
+    }
+}
+
+/// Mirrors the instance sweep for the L4 layer: kill mux 0 at a sweep
+/// of times across every flow phase. Re-hashed flows land on surviving
+/// muxes; any that reach a different Yoda instance recover through
+/// TCPStore — no flow may break, whichever phase the kill lands in.
+#[test]
+fn no_flow_breaks_wherever_the_mux_kill_lands() {
+    for fail_ms in (1040..1400).step_by(60).chain([1800, 2500]) {
+        let mut tb = Testbed::build(TestbedConfig {
+            seed: 12,
+            num_instances: 2,
+            num_stores: 3,
+            num_backends: 4,
+            num_muxes: 3,
+            num_services: 1,
+            pages_per_site: 10,
+            ..TestbedConfig::default()
+        });
+        tb.engine.run_for(SimTime::from_secs(1));
+        let browser = tb.add_browser(
+            0,
+            BrowserConfig {
+                processes: 2,
+                max_pages: Some(2),
+                http_timeout: SimTime::from_secs(30),
+                ..BrowserConfig::default()
+            },
+        );
+        tb.fail_mux_at(0, SimTime::from_millis(fail_ms));
+        tb.engine.run_for(SimTime::from_secs(120));
+        let b = tb.engine.node_ref::<BrowserClient>(browser);
+        assert_eq!(
+            b.broken_flows, 0,
+            "mux kill at {fail_ms} ms broke a flow (completed {})",
+            b.completed
+        );
+        assert_eq!(b.pages_completed, 4, "mux kill at {fail_ms} ms");
+    }
+}
+
 #[test]
 fn flows_survive_store_server_failure() {
     // §6: when a Memcached server fails its keys are not re-replicated;
