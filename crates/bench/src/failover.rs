@@ -220,7 +220,8 @@ fn extract_timeline(engine: &yoda_netsim::Engine, around: SimTime) -> Vec<String
         }
         match ev.kind {
             TraceKind::NodeFailed => {
-                annotations.push((ev.time, format!("*** {} FAILED", ev.node)));
+                let node = engine.names().resolve(ev.node);
+                annotations.push((ev.time, format!("*** {node} FAILED")));
                 continue;
             }
             TraceKind::Note => {
@@ -228,13 +229,14 @@ fn extract_timeline(engine: &yoda_netsim::Engine, around: SimTime) -> Vec<String
                     .map(|p| ev.detail.contains(&format!(":{p}")))
                     .unwrap_or(false);
                 if relevant || ev.detail.contains("controller detected failure") {
-                    annotations.push((ev.time, format!("*** {}: {}", ev.node, ev.detail)));
+                    let node = engine.names().resolve(ev.node);
+                    annotations.push((ev.time, format!("*** {node}: {}", ev.detail)));
                 }
                 continue;
             }
             _ => {}
         }
-        if !ev.node.starts_with("backend") {
+        if !engine.names().resolve(ev.node).starts_with("backend") {
             continue;
         }
         let flow_match = match client_port {

@@ -5,8 +5,7 @@
 //! [`TimeSeries`] schedules a closure at a fixed period that reads node
 //! state and records a row.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use yoda_netsim::{Engine, SimTime};
 
@@ -14,17 +13,16 @@ use yoda_netsim::{Engine, SimTime};
 pub type Row = (SimTime, Vec<f64>);
 
 /// A shared, periodically-appended series of `(time, values)` rows.
-#[derive(Debug, Clone)]
+///
+/// Backed by `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>`: the sampling
+/// closures ride the engine's event queue, which requires `Send` (tidy's
+/// shard-safety rules flag `Rc`/`RefCell` captures). The mutex is never
+/// contended — the engine is single-threaded per shard — so the cost is
+/// an uncontended lock per sample, which is noise next to the sampling
+/// closure itself.
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
-    rows: Rc<RefCell<Vec<Row>>>,
-}
-
-impl Default for TimeSeries {
-    fn default() -> Self {
-        TimeSeries {
-            rows: Rc::new(RefCell::new(Vec::new())),
-        }
-    }
+    rows: Arc<Mutex<Vec<Row>>>,
 }
 
 impl TimeSeries {
@@ -41,7 +39,7 @@ impl TimeSeries {
         start: SimTime,
         period: SimTime,
         end: SimTime,
-        sample: impl Fn(&mut Engine) -> Vec<f64> + Clone + 'static,
+        sample: impl Fn(&mut Engine) -> Vec<f64> + Clone + Send + 'static,
     ) {
         let mut t = start;
         while t <= end {
@@ -49,7 +47,7 @@ impl TimeSeries {
             let sample = sample.clone();
             engine.schedule(t, move |eng| {
                 let values = sample(eng);
-                rows.borrow_mut().push((eng.now(), values));
+                rows.lock().expect("sampler poisoned").push((eng.now(), values));
             });
             t += period;
         }
@@ -57,7 +55,7 @@ impl TimeSeries {
 
     /// The collected rows.
     pub fn rows(&self) -> Vec<Row> {
-        self.rows.borrow().clone()
+        self.rows.lock().expect("sampler poisoned").clone()
     }
 }
 

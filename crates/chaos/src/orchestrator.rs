@@ -6,8 +6,6 @@
 //! bump the [`StoreWitness`] epoch at both boundaries so read-after-write
 //! verdicts never span a membership change.
 
-use std::cell::RefCell;
-use std::rc::Rc;
 
 use yoda_core::controller::Controller;
 use yoda_core::testbed::{Testbed, TestbedConfig};
@@ -335,38 +333,37 @@ fn wan_override(
     tb: &mut Testbed,
     at: SimTime,
     end: SimTime,
-    mk: impl Fn(LinkSpec) -> LinkSpec + 'static,
+    mk: impl Fn(LinkSpec) -> LinkSpec + Send + 'static,
 ) {
     let dirs = vec![(Zone::External, Zone::Dc), (Zone::Dc, Zone::External)];
     wan_override_dirs(tb, at, end, dirs, mk);
 }
 
 /// Applies `mk(base_link)` as a stacked override on each directed zone
-/// pair at `at` and clears it at `end`. The override ids cross from the
-/// apply closure to the clear closure through a shared cell.
+/// pair at `at` and clears it at `end`. The apply closure schedules the
+/// clear closure itself, passing the override ids by value — message
+/// passing through the event queue, where a shared `Rc<RefCell<…>>` cell
+/// would make both closures non-`Send` (tidy: shard-nonsend-rc/cell).
 fn wan_override_dirs(
     tb: &mut Testbed,
     at: SimTime,
     end: SimTime,
     dirs: Vec<(Zone, Zone)>,
-    mk: impl Fn(LinkSpec) -> LinkSpec + 'static,
+    mk: impl Fn(LinkSpec) -> LinkSpec + Send + 'static,
 ) {
-    let ids = Rc::new(RefCell::new(Vec::new()));
-    let ids_apply = Rc::clone(&ids);
-    let dirs_apply = dirs.clone();
     tb.engine.schedule(at, move |eng| {
         let topo = eng.topology_mut();
-        let mut v = ids_apply.borrow_mut();
-        for (from, to) in dirs_apply {
+        let mut ids = Vec::new();
+        for (from, to) in dirs {
             let spec = mk(*topo.link(from, to));
-            v.push((from, to, topo.apply_override(from, to, spec)));
+            ids.push((from, to, topo.apply_override(from, to, spec)));
         }
-    });
-    tb.engine.schedule(end, move |eng| {
-        let topo = eng.topology_mut();
-        for (from, to, id) in ids.borrow_mut().drain(..) {
-            topo.clear_override(from, to, id);
-        }
+        eng.schedule(end, move |eng| {
+            let topo = eng.topology_mut();
+            for (from, to, id) in ids {
+                topo.clear_override(from, to, id);
+            }
+        });
     });
 }
 

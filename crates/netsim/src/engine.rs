@@ -10,7 +10,6 @@
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
 
 use crate::addr::Addr;
 // AddrMap (not Hash*): deterministic fixed-hash table with a lookup-only
@@ -20,6 +19,7 @@ use crate::addrmap::AddrMap;
 use crate::node::{Node, TimerId, TimerToken};
 use crate::packet::Packet;
 use crate::rng::Rng;
+use crate::symtab::{NameId, SymbolTable};
 use crate::time::SimTime;
 use crate::topology::{Topology, Zone};
 use crate::trace::{TraceEvent, TraceKind, TraceSink};
@@ -29,8 +29,11 @@ use crate::wheel::{TimerWheel, WheelItem};
 pub struct NodeId(pub usize);
 
 struct NodeMeta {
-    /// Interned: trace records share this allocation instead of cloning.
-    name: Rc<str>,
+    /// Interned in the engine's [`SymbolTable`]: trace records carry the
+    /// 4-byte id instead of cloning the name, and — unlike the old
+    /// `Rc<str>` sharing — the id is `Send`, so node metadata can move
+    /// between shard workers.
+    name: NameId,
     zone: Zone,
     alive: bool,
     /// Partitioned ingress: packets addressed to this node are dropped at
@@ -47,7 +50,11 @@ struct NodeMeta {
 /// Payload of a heap-scheduled event. Only the rare control closure
 /// rides the heap now: timers AND packets live inline in the
 /// [`TimerWheel`], so the hot path allocates nothing per event.
-type Control = Box<dyn FnOnce(&mut Engine)>;
+///
+/// `Send` so the engine as a whole is `Send`: a scheduled closure must
+/// not smuggle `Rc`/`RefCell` state into the event queue, where a shard
+/// worker on another core would run it.
+type Control = Box<dyn FnOnce(&mut Engine) + Send>;
 
 /// What the binary heap actually sorts: a 24-byte key instead of a full
 /// event, so sift operations move 24 bytes rather than ~100. The payload
@@ -81,6 +88,9 @@ pub(crate) struct EngineCore {
     /// they sat in the heap, and are reclaimed at that pop.
     wheel: TimerWheel,
     meta: Vec<NodeMeta>,
+    /// Node names, interned once at `add_node`; everything else carries
+    /// [`NameId`]s.
+    names: SymbolTable,
     addr_map: AddrMap,
     rng: Rng,
     topology: Topology,
@@ -142,7 +152,7 @@ impl EngineCore {
         }
         let ev = TraceEvent {
             time: self.time,
-            node: self.meta[node.0].name.clone(),
+            node: self.meta[node.0].name,
             kind,
             src: Some(pkt.src),
             dst: Some(pkt.dst),
@@ -251,7 +261,7 @@ impl Ctx<'_> {
 
     /// This node's name.
     pub fn node_name(&self) -> &str {
-        self.core.meta[self.node.0].name.as_ref()
+        self.core.names.resolve(self.core.meta[self.node.0].name)
     }
 
     /// The engine's deterministic RNG.
@@ -316,7 +326,7 @@ impl Ctx<'_> {
         }
         let ev = TraceEvent {
             time: self.core.time,
-            node: self.core.meta[self.node.0].name.clone(),
+            node: self.core.meta[self.node.0].name,
             kind: TraceKind::Note,
             src: None,
             dst: None,
@@ -362,6 +372,7 @@ impl Engine {
                 free_payloads: Vec::new(),
                 wheel: TimerWheel::new(),
                 meta: Vec::new(),
+                names: SymbolTable::new(),
                 addr_map: AddrMap::new(),
                 rng: Rng::seed_from_u64(seed),
                 topology,
@@ -447,8 +458,9 @@ impl Engine {
         let id = NodeId(self.nodes.len());
         let prev = self.core.addr_map.insert(addr, id.0);
         assert!(prev.is_none(), "address {addr} already in use");
+        let name = self.core.names.intern(&name.into());
         self.core.meta.push(NodeMeta {
-            name: Rc::from(name.into()),
+            name,
             zone,
             alive: true,
             cut_in: false,
@@ -485,7 +497,13 @@ impl Engine {
 
     /// The node's display name.
     pub fn node_name(&self, id: NodeId) -> &str {
-        self.core.meta[id.0].name.as_ref()
+        self.core.names.resolve(self.core.meta[id.0].name)
+    }
+
+    /// The engine's name intern table; resolves the [`NameId`]s that
+    /// trace events carry.
+    pub fn names(&self) -> &SymbolTable {
+        &self.core.names
     }
 
     /// Whether the node is currently alive.
@@ -501,7 +519,7 @@ impl Engine {
         if self.core.trace.is_enabled() {
             let ev = TraceEvent {
                 time: self.core.time,
-                node: self.core.meta[id.0].name.clone(),
+                node: self.core.meta[id.0].name,
                 kind: TraceKind::NodeFailed,
                 src: None,
                 dst: None,
@@ -531,7 +549,7 @@ impl Engine {
             };
             let ev = TraceEvent {
                 time: self.core.time,
-                node: self.core.meta[id.0].name.clone(),
+                node: self.core.meta[id.0].name,
                 kind: TraceKind::Note,
                 src: None,
                 dst: None,
@@ -569,7 +587,7 @@ impl Engine {
         if self.core.trace.is_enabled() {
             let ev = TraceEvent {
                 time: self.core.time,
-                node: self.core.meta[id.0].name.clone(),
+                node: self.core.meta[id.0].name,
                 kind: TraceKind::NodeRestored,
                 src: None,
                 dst: None,
@@ -587,8 +605,10 @@ impl Engine {
     }
 
     /// Schedules `f` to run against the engine at simulated time `at`
-    /// (clamped to now if already past).
-    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
+    /// (clamped to now if already past). The closure must be `Send`: it
+    /// rides the event queue, which a shard worker on another core may
+    /// drain, so `Rc`/`RefCell` captures are rejected at compile time.
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + Send + 'static) {
         let t = at.max(self.core.time);
         self.core.push(t, Box::new(f));
     }
@@ -1006,14 +1026,20 @@ mod tests {
 
     #[test]
     fn scheduled_closures_run_in_order() {
+        // Arc<Mutex>, not Rc<RefCell>: schedule requires Send closures
+        // (the compile-time half of the shard-safety story).
         let mut eng = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
-        let log: std::rc::Rc<std::cell::RefCell<Vec<u32>>> = Default::default();
+        let log: std::sync::Arc<std::sync::Mutex<Vec<u32>>> = Default::default();
         let l1 = log.clone();
         let l2 = log.clone();
-        eng.schedule(SimTime::from_millis(5), move |_| l1.borrow_mut().push(2));
-        eng.schedule(SimTime::from_millis(1), move |_| l2.borrow_mut().push(1));
+        eng.schedule(SimTime::from_millis(5), move |_| {
+            l1.lock().expect("uncontended").push(2);
+        });
+        eng.schedule(SimTime::from_millis(1), move |_| {
+            l2.lock().expect("uncontended").push(1);
+        });
         eng.run_for(SimTime::from_millis(10));
-        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(*log.lock().expect("uncontended"), vec![1, 2]);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod packet;
 pub mod rng;
 pub mod service;
 pub mod stats;
+pub mod symtab;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -63,6 +64,7 @@ pub use packet::{
 };
 pub use service::ServiceQueue;
 pub use stats::{Counter, Histogram};
+pub use symtab::{NameId, SymbolTable};
 pub use time::SimTime;
 pub use topology::{LinkSpec, OverrideId, Topology, Zone};
 pub use trace::{TraceEvent, TraceKind, TraceSink};

@@ -94,7 +94,12 @@ impl TimerToken {
 ///
 /// Implementations must be deterministic: any randomness must come from
 /// [`Ctx::rng`](crate::engine::Ctx::rng) so replays are exact.
-pub trait Node: Any {
+///
+/// The `Send` supertrait is the compile-time half of the shard-safety
+/// story: the sharded multi-core engine moves node state between worker
+/// threads at epoch barriers, so node state must never hold `Rc`,
+/// `RefCell`-of-shared, raw pointers, or other thread-bound constructs.
+pub trait Node: Any + Send {
     /// Invoked once when the simulation starts (or the node is restarted
     /// after a failure). Use it to arm periodic timers.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}

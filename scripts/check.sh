@@ -26,6 +26,20 @@ if [[ -f results/tidy_baseline.json ]]; then
 fi
 delta=$((current - baseline))
 echo "tidy: ${current} violation(s); baseline ${baseline}; delta ${delta}"
+# Shard-safety categories get their own delta: these gate the sharded
+# multi-core engine, so a new one must be visible even when an unrelated
+# fix keeps the overall count flat.
+shard_current=$(grep -c '"rule": "shard-' "$report" || true)
+shard_baseline=0
+if [[ -f results/tidy_baseline.json ]]; then
+    shard_baseline=$(grep -c '"rule": "shard-' results/tidy_baseline.json || true)
+fi
+echo "tidy: shard-safety ${shard_current} violation(s); baseline ${shard_baseline}; delta $((shard_current - shard_baseline))"
+if (( shard_current > shard_baseline )); then
+    echo "tidy: new shard-unsafe construct(s) — the engine core must stay Send:"
+    grep '"rule": "shard-' "$report" || true
+    exit 1
+fi
 if (( delta > 0 )); then
     echo "tidy: ${delta} new violation(s) vs results/tidy_baseline.json:"
     grep '"rule"' "$report" || true
