@@ -18,8 +18,20 @@
 //! measurement recorded before the engine overhaul — is preserved and only
 //! `"current"` is replaced, so the repo carries its perf trajectory.
 //!
+//! A sharded sweep then re-runs `pingpong_mesh` and `timer_churn` through
+//! `Engine::run_for_sharded` at 1/2/4/8 workers (override with
+//! `--threads N`). Each sharded digest is asserted equal to the
+//! single-threaded digest measured in the same process — the bench aborts
+//! on any divergence, so the committed `"sharded"` rows are themselves
+//! determinism evidence — and in full mode both are additionally pinned
+//! to the digests committed in `BENCH_engine.json`. Per-row
+//! `events_per_sec_per_worker` is the scaling-efficiency numerator
+//! `scripts/check.sh` reports (on a single-core host the sweep still
+//! verifies digest identity; the efficiency numbers are only meaningful
+//! with real parallelism).
+//!
 //! ```text
-//! bench_engine [--smoke] [--only SCENARIO] [--update BENCH_engine.json]
+//! bench_engine [--smoke] [--only SCENARIO] [--threads N] [--update BENCH_engine.json]
 //! ```
 //!
 //! `--only` restricts the run to one scenario (exact name) — for
@@ -29,7 +41,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use bytes::Bytes;
-use yoda_bench::{arg_flag, arg_str};
+use yoda_bench::{arg_flag, arg_str, arg_usize};
 use yoda_netsim::{
     Addr, Ctx, Endpoint, Engine, Node, Packet, SimTime, TimerToken, Topology, Zone, PROTO_PING,
 };
@@ -89,8 +101,17 @@ fn mesh_addr(i: u32) -> Addr {
     Addr::new(10, 20, (i / 250) as u8, (i % 250 + 1) as u8)
 }
 
+/// Committed full-mode digests (see `BENCH_engine.json`): every run —
+/// single-threaded or sharded at any worker count — must land exactly
+/// here.
+const PINGPONG_DIGEST_FULL: u64 = 0xb9f7_9de3_8943_a8cd;
+const CHURN_DIGEST_FULL: u64 = 0x9653_0dd7_2d5c_a05f;
+
 struct Measurement {
     name: &'static str,
+    /// Worker count for the sharded executor; `0` means the plain
+    /// single-threaded `run_for` path.
+    threads: usize,
     events: u64,
     elapsed_ns: u128,
     digest: u64,
@@ -103,13 +124,20 @@ impl Measurement {
     fn ns_per_event(&self) -> f64 {
         self.elapsed_ns as f64 / self.events as f64
     }
+    /// Scaling-efficiency numerator: throughput normalised by worker
+    /// count. Flat across thread counts = perfect scaling.
+    fn per_worker(&self) -> f64 {
+        self.events_per_sec() / self.threads.max(1) as f64
+    }
 }
 
 /// Runs `build` + `run_for(duration)` `repeats` times, keeping the fastest
-/// wall-clock run. The digest must agree across repeats — a mismatch means
-/// the engine is nondeterministic and the numbers are garbage.
+/// wall-clock run. `threads > 0` drives the sharded executor instead. The
+/// digest must agree across repeats — a mismatch means the engine is
+/// nondeterministic and the numbers are garbage.
 fn measure(
     name: &'static str,
+    threads: usize,
     repeats: u32,
     duration: SimTime,
     build: impl Fn() -> Engine,
@@ -121,10 +149,16 @@ fn measure(
         eng.run_for(SimTime::from_millis(50));
         let base_events = eng.events_processed();
         let t0 = Instant::now();
-        eng.run_for(duration);
+        if threads == 0 {
+            eng.run_for(duration);
+        } else {
+            eng.run_for_sharded(duration, threads)
+                .expect("bench handlers never draw Ctx::rng");
+        }
         let elapsed_ns = t0.elapsed().as_nanos().max(1);
         let m = Measurement {
             name,
+            threads,
             events: eng.events_processed() - base_events,
             elapsed_ns,
             digest: eng.event_digest(),
@@ -214,6 +248,32 @@ fn json_block(mode: &str, results: &[Measurement]) -> String {
     s
 }
 
+/// Renders the sharded sweep: one row per (scenario, worker count), with
+/// the per-worker throughput `scripts/check.sh` turns into a scaling-
+/// efficiency report.
+fn json_sharded_block(mode: &str, rows: &[Measurement]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "  {{");
+    let _ = writeln!(s, "    \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "    \"rows\": [");
+    for (i, m) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"name\": \"{}\", \"threads\": {}, \"events\": {}, \"events_per_sec\": {:.0}, \"events_per_sec_per_worker\": {:.0}, \"digest\": \"{:#018x}\"}}{comma}",
+            m.name,
+            m.threads,
+            m.events,
+            m.events_per_sec(),
+            m.per_worker(),
+            m.digest,
+        );
+    }
+    let _ = writeln!(s, "    ]");
+    let _ = write!(s, "  }}");
+    s
+}
+
 /// Extracts the `"baseline": { ... }` block (balanced braces) from a
 /// previously written report, so re-running the bench preserves the
 /// pre-overhaul measurement forever.
@@ -246,17 +306,17 @@ fn main() {
     let wanted = |name: &str| only.as_deref().is_none_or(|o| o == name);
     let mut results = Vec::new();
     if wanted("pingpong_mesh") {
-        results.push(measure("pingpong_mesh", repeats, duration, || {
+        results.push(measure("pingpong_mesh", 0, repeats, duration, || {
             pingpong_mesh(512, 4)
         }));
     }
     if wanted("timer_churn") {
-        results.push(measure("timer_churn", repeats, duration, || {
+        results.push(measure("timer_churn", 0, repeats, duration, || {
             timer_churn(64, 16)
         }));
     }
     if wanted("trace_ring") {
-        results.push(measure("trace_ring", repeats, duration, || {
+        results.push(measure("trace_ring", 0, repeats, duration, || {
             trace_ring(512, 4)
         }));
     }
@@ -272,15 +332,67 @@ fn main() {
         );
     }
 
+    // Sharded sweep: same workloads through the multi-core executor, one
+    // row per worker count, digest-checked against the single-threaded
+    // run above.
+    let sweep: Vec<usize> = match arg_usize("threads", 0) {
+        0 => vec![1, 2, 4, 8],
+        n => vec![n],
+    };
+    let st_digest = |name: &str| results.iter().find(|m| m.name == name).map(|m| m.digest);
+    let mut sharded = Vec::new();
+    for &threads in &sweep {
+        if wanted("pingpong_mesh") {
+            sharded.push(measure("pingpong_mesh", threads, repeats, duration, || {
+                pingpong_mesh(512, 4)
+            }));
+        }
+        if wanted("timer_churn") {
+            sharded.push(measure("timer_churn", threads, repeats, duration, || {
+                timer_churn(64, 16)
+            }));
+        }
+    }
+    for m in &sharded {
+        if let Some(expect) = st_digest(m.name) {
+            assert_eq!(
+                m.digest, expect,
+                "{} at {} workers diverged from the single-threaded digest",
+                m.name, m.threads
+            );
+        }
+        if !smoke {
+            let committed = match m.name {
+                "pingpong_mesh" => PINGPONG_DIGEST_FULL,
+                _ => CHURN_DIGEST_FULL,
+            };
+            assert_eq!(
+                m.digest, committed,
+                "{} at {} workers diverged from the committed baseline digest",
+                m.name, m.threads
+            );
+        }
+        eprintln!(
+            "{:16} x{:<2} {:>10} events  {:>12.0} events/s  {:>12.0} ev/s/worker  digest {:#018x}",
+            m.name,
+            m.threads,
+            m.events,
+            m.events_per_sec(),
+            m.per_worker(),
+            m.digest,
+        );
+    }
+
     let mode = if smoke { "smoke" } else { "full" };
     let current = json_block(mode, &results);
+    let sharded_block = json_sharded_block(mode, &sharded);
     let baseline = arg_str("update")
         .and_then(|path| std::fs::read_to_string(path).ok())
         .and_then(|text| extract_baseline(&text))
         .unwrap_or_else(|| current.clone());
 
     let report = format!(
-        "{{\n  \"bench\": \"bench_engine\",\n  \"schema\": 1,\n  \"baseline\":\n{baseline},\n  \"current\":\n{current}\n}}\n"
+        "{{\n  \"bench\": \"bench_engine\",\n  \"schema\": 2,\n  \"baseline\":\n{baseline},\n  \"current\":\n{current},\n  \"sharded\":\n{sharded_block}\n}}\n"
     );
     match arg_str("update") {
         Some(path) => {

@@ -43,6 +43,12 @@ pub struct ChaosScenario {
     pub deadline: SimTime,
     /// Fault-plan budget.
     pub budget: PlanBudget,
+    /// Sharded-executor workers for the testbed run (`0` = classic
+    /// single-threaded). Opt-in and currently only useful with RNG-free
+    /// node sets: the stock browser/TCP handlers draw `Ctx::rng`, which
+    /// the sharded executor rejects (`ShardError::HandlerRng`) rather
+    /// than letting draw order diverge across shards.
+    pub threads: usize,
 }
 
 impl ChaosScenario {
@@ -61,6 +67,7 @@ impl ChaosScenario {
             max_pages: None,
             deadline: SimTime::from_secs(45),
             budget: PlanBudget::survivable(),
+            threads: 0,
         }
     }
 
@@ -79,6 +86,7 @@ impl ChaosScenario {
             max_pages: Some(1),
             deadline: SimTime::from_secs(100),
             budget: PlanBudget::unconstrained(),
+            threads: 0,
         }
     }
 
@@ -185,6 +193,7 @@ pub fn run_plan(plan: &ChaosPlan, sc: &ChaosScenario) -> ChaosReport {
         num_muxes: sc.muxes,
         num_services: sc.services,
         pages_per_site: 12,
+        threads: sc.threads,
         ..TestbedConfig::default()
     });
 
@@ -223,7 +232,7 @@ pub fn run_plan(plan: &ChaosPlan, sc: &ChaosScenario) -> ChaosReport {
     );
 
     apply_plan(&mut tb, plan, Some(witness));
-    tb.engine.run_for(sc.deadline);
+    tb.run_for(sc.deadline);
 
     let violations = check_invariants(&tb, plan, &browsers, witness, sc);
     let mut report = ChaosReport {

@@ -50,6 +50,12 @@ pub struct TestbedConfig {
     pub backend: ServerConfig,
     /// Network topology.
     pub topology: Topology,
+    /// Worker threads for the sharded executor (`0` or `1` = classic
+    /// single-threaded execution). Opt-in: scenarios whose node handlers
+    /// draw `Ctx::rng` — which includes the stock browser/TCP stack —
+    /// fail fast with `ShardError::HandlerRng` instead of silently
+    /// diverging, so only RNG-free node sets can run sharded today.
+    pub threads: usize,
 }
 
 impl Default for TestbedConfig {
@@ -68,6 +74,7 @@ impl Default for TestbedConfig {
             store: StoreServerConfig::default(),
             backend: ServerConfig::default(),
             topology: Topology::azure_testbed(),
+            threads: 0,
         }
     }
 }
@@ -110,6 +117,9 @@ pub struct Testbed {
     pub store_cfg: StoreServerConfig,
     /// Backend configuration used (for backend restoration).
     pub backend_cfg: ServerConfig,
+    /// Sharded-executor worker count (`0`/`1` = single-threaded); see
+    /// [`TestbedConfig::threads`].
+    pub threads: usize,
     next_client_host: u8,
 }
 
@@ -253,6 +263,7 @@ impl Testbed {
             yoda_cfg: cfg.yoda,
             store_cfg: cfg.store,
             backend_cfg: cfg.backend,
+            threads: cfg.threads,
             next_client_host: 1,
         };
         // Install the default equal-split policy for every service via
@@ -262,6 +273,26 @@ impl Testbed {
             tb.set_policy(vip, &rules);
         }
         tb
+    }
+
+    /// Advances the simulation by `duration`, honouring the
+    /// [`TestbedConfig::threads`] knob: `0`/`1` runs the classic
+    /// single-threaded loop, anything higher the sharded multi-core
+    /// executor (whose digests are bit-identical by construction).
+    ///
+    /// Sharded runs are opt-in because the stock testbed nodes (browser
+    /// think times, TCP retransmit jitter, instance load probes) draw
+    /// `Ctx::rng` inside packet/timer handlers, which the sharded
+    /// executor rejects — a run with such nodes panics with the
+    /// offending shard rather than diverging silently. RNG-free
+    /// scenarios pass `threads >= 2` and get parallel execution with
+    /// the same digest.
+    pub fn run_for(&mut self, duration: SimTime) {
+        if self.threads <= 1 {
+            self.engine.run_for(duration);
+        } else if let Err(e) = self.engine.run_for_sharded(duration, self.threads) {
+            panic!("sharded testbed run failed: {e} (this scenario's handlers draw Ctx::rng; run with threads = 0)");
+        }
     }
 
     /// The default rule text for service `s`: equal-weight split across

@@ -26,7 +26,11 @@
 use crate::addr::Addr;
 
 /// Lookup-only `Addr → node index` table.
-#[derive(Debug, Default)]
+///
+/// `Clone` so the sharded executor can hand workers an immutable snapshot
+/// for `Ctx::resolve`; bindings are insert-only, so a snapshot taken at an
+/// epoch barrier stays accurate for the whole window.
+#[derive(Debug, Default, Clone)]
 pub struct AddrMap {
     /// `(addr << 32) | (node + 1)`, or `0` for an empty slot.
     slots: Vec<u64>,

@@ -9,7 +9,7 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::addr::Addr;
 // AddrMap (not Hash*): deterministic fixed-hash table with a lookup-only
@@ -28,23 +28,23 @@ use crate::wheel::{TimerWheel, WheelItem};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
-struct NodeMeta {
+pub(crate) struct NodeMeta {
     /// Interned in the engine's [`SymbolTable`]: trace records carry the
     /// 4-byte id instead of cloning the name, and — unlike the old
     /// `Rc<str>` sharing — the id is `Send`, so node metadata can move
     /// between shard workers.
-    name: NameId,
-    zone: Zone,
-    alive: bool,
+    pub(crate) name: NameId,
+    pub(crate) zone: Zone,
+    pub(crate) alive: bool,
     /// Partitioned ingress: packets addressed to this node are dropped at
     /// delivery time. Unlike `alive == false`, the node keeps running
     /// (its timers still fire) — it just can't hear the network.
-    cut_in: bool,
+    pub(crate) cut_in: bool,
     /// Partitioned egress: packets this node sends never reach the wire.
-    cut_out: bool,
+    pub(crate) cut_out: bool,
     /// Bumped on restore so stale timers from before a crash never fire.
-    generation: u64,
-    addrs: Vec<Addr>,
+    pub(crate) generation: u64,
+    pub(crate) addrs: Vec<Addr>,
 }
 
 /// Payload of a heap-scheduled event. Only the rare control closure
@@ -60,7 +60,7 @@ type Control = Box<dyn FnOnce(&mut Engine) + Send>;
 /// event, so sift operations move 24 bytes rather than ~100. The payload
 /// sits in `EngineCore::payloads[slot]` until the key pops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct HeapEntry {
+pub(crate) struct HeapEntry {
     /// Absolute time, µs.
     time: u64,
     /// Global insertion sequence — the deterministic tie-breaker.
@@ -72,11 +72,11 @@ struct HeapEntry {
 /// Engine internals shared with [`Ctx`]; split from the node storage so a
 /// node can borrow the core mutably while the engine holds the node.
 pub(crate) struct EngineCore {
-    time: SimTime,
+    pub(crate) time: SimTime,
     /// One global sequence counter shared by packets, timers, and control
     /// events: allocation order IS the deterministic tie-break order.
-    seq: u64,
-    events: BinaryHeap<Reverse<HeapEntry>>,
+    pub(crate) seq: u64,
+    pub(crate) events: BinaryHeap<Reverse<HeapEntry>>,
     /// Control closures for heap entries, indexed by `HeapEntry::slot`;
     /// slots are recycled through `free_payloads` in LIFO order
     /// (deterministic).
@@ -86,29 +86,39 @@ pub(crate) struct EngineCore {
     /// `(deadline, seq)` order. Cancelled timers still pop (flagged) at
     /// their deadline so the event digest is unchanged from the era when
     /// they sat in the heap, and are reclaimed at that pop.
-    wheel: TimerWheel,
-    meta: Vec<NodeMeta>,
+    pub(crate) wheel: TimerWheel,
+    pub(crate) meta: Vec<NodeMeta>,
     /// Node names, interned once at `add_node`; everything else carries
     /// [`NameId`]s.
-    names: SymbolTable,
-    addr_map: AddrMap,
-    rng: Rng,
-    topology: Topology,
-    trace: TraceSink,
-    next_timer_id: u64,
-    packets_sent: u64,
-    packets_dropped: u64,
-    events_processed: u64,
+    pub(crate) names: SymbolTable,
+    pub(crate) addr_map: AddrMap,
+    pub(crate) rng: Rng,
+    pub(crate) topology: Topology,
+    pub(crate) trace: TraceSink,
+    pub(crate) next_timer_id: u64,
+    pub(crate) packets_sent: u64,
+    pub(crate) packets_dropped: u64,
+    pub(crate) events_processed: u64,
     /// FNV-1a digest folded over every processed event; two runs with the
     /// same seed and scenario must end with identical digests.
-    digest: u64,
+    pub(crate) digest: u64,
+    /// Timer-handle relocation table, rebuilt whenever the sharded
+    /// executor migrates pending entries back into this wheel (their slab
+    /// slots change, invalidating the slot half of every outstanding
+    /// [`TimerId`]). Keyed by cancellation-match id. Consulted only when
+    /// a direct `cancel(slot, id)` misses, so the single-threaded hot
+    /// path pays one empty-map probe at most.
+    pub(crate) relocated: BTreeMap<u64, u32>,
+    /// Base for the next sharded run's provisional timer ids; advanced at
+    /// teardown so handles issued by different runs can never collide.
+    pub(crate) next_prov: u64,
 }
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
 #[inline]
-fn fnv_fold(digest: u64, word: u64) -> u64 {
+pub(crate) fn fnv_fold(digest: u64, word: u64) -> u64 {
     let mut d = digest;
     for byte in word.to_le_bytes() {
         d = (d ^ byte as u64).wrapping_mul(FNV_PRIME);
@@ -162,7 +172,29 @@ impl EngineCore {
         self.trace.record(ev);
     }
 
+    /// Single-threaded send: packets arm into the engine's own wheel.
     fn send_from(&mut self, from: NodeId, pkt: Packet, extra_delay: SimTime) {
+        self.send_routed(from, pkt, extra_delay, &mut |core, at, seq, pkt, dst| {
+            core.wheel.arm(at, seq, 0, WheelItem::Packet { pkt, dst });
+        });
+    }
+
+    /// The full send path — routing, egress partition, link model (RNG),
+    /// duplication, counters, tracing — with the final "arm the in-flight
+    /// packet" step delegated to `arm`. The single-threaded engine arms
+    /// into its own wheel; the sharded executor's replay arms into the
+    /// destination node's shard wheel. Everything digest- and RNG-visible
+    /// happens here, in one place, so both paths are identical by
+    /// construction.
+    pub(crate) fn send_routed<F>(
+        &mut self,
+        from: NodeId,
+        pkt: Packet,
+        extra_delay: SimTime,
+        arm: &mut F,
+    ) where
+        F: FnMut(&mut EngineCore, u64, u64, Packet, u32),
+    {
         let from_zone = self.meta[from.0].zone;
         let to_id = match self.addr_map.get(pkt.dst.addr) {
             Some(id) => id,
@@ -210,8 +242,7 @@ impl EngineCore {
                 } else {
                     None
                 };
-                self.wheel
-                    .arm(at.as_micros(), seq, 0, WheelItem::Packet { pkt, dst });
+                arm(self, at.as_micros(), seq, pkt, dst);
                 if let Some(copy) = dup_pkt {
                     // Second, independent trip through the link model
                     // (own jitter/loss/queue rolls). Armed after the
@@ -225,12 +256,7 @@ impl EngineCore {
                         self.record_packet(from, TraceKind::PacketDuplicated, &copy, "");
                         let seq2 = self.seq;
                         self.seq += 1;
-                        self.wheel.arm(
-                            at2.as_micros(),
-                            seq2,
-                            0,
-                            WheelItem::Packet { pkt: copy, dst },
-                        );
+                        arm(self, at2.as_micros(), seq2, copy, dst);
                     }
                 }
             }
@@ -240,68 +266,147 @@ impl EngineCore {
             }
         }
     }
+
+    /// O(1) timer cancellation that also survives shard migration: the
+    /// slot half of a [`TimerId`] goes stale when the sharded executor
+    /// rebuilds the wheel, so a direct miss falls back to the relocation
+    /// table (empty unless a sharded run happened, so the single-threaded
+    /// path pays one `is_empty`-cheap probe at most).
+    pub(crate) fn cancel_timer_core(&mut self, id: TimerId) {
+        if self.wheel.cancel(id.slot, id.id) {
+            return;
+        }
+        if let Some(&slot) = self.relocated.get(&id.id) {
+            if self.wheel.cancel(slot, id.id) {
+                self.relocated.remove(&id.id);
+            }
+        }
+    }
+
+    /// Time of the earliest pending control closure, if any. The sharded
+    /// coordinator bounds each parallel window by it, so controls always
+    /// run single-threaded in exact `(time, seq)` order.
+    pub(crate) fn next_control_time(&self) -> Option<u64> {
+        self.events.peek().map(|&Reverse(e)| e.time)
+    }
 }
 
 /// The world a [`Node`] sees while handling an event.
+///
+/// Backed either by the engine core directly (single-threaded execution)
+/// or by a shard worker (parallel execution): handlers cannot tell the
+/// difference, which is what lets the sharded executor run unmodified
+/// nodes. The one exception is [`Ctx::rng`] — see its docs.
 pub struct Ctx<'a> {
-    core: &'a mut EngineCore,
-    node: NodeId,
+    inner: CtxInner<'a>,
 }
 
-impl Ctx<'_> {
+enum CtxInner<'a> {
+    /// Single-threaded: every effect applies to the engine immediately.
+    Direct { core: &'a mut EngineCore, node: NodeId },
+    /// Sharded phase A: effects are logged in the worker's mailbox and
+    /// applied to the engine at the next epoch barrier, in canonical
+    /// merged order.
+    Shard {
+        exec: &'a mut crate::shard::ShardWorker,
+        node: NodeId,
+    },
+}
+
+impl<'a> Ctx<'a> {
+    /// A context running a handler against a shard worker (sharded
+    /// executor only).
+    pub(crate) fn for_shard(exec: &'a mut crate::shard::ShardWorker, node: NodeId) -> Self {
+        Ctx {
+            inner: CtxInner::Shard { exec, node },
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.core.time
+        match &self.inner {
+            CtxInner::Direct { core, .. } => core.time,
+            CtxInner::Shard { exec, .. } => exec.now(),
+        }
     }
 
     /// This node's id.
     pub fn node_id(&self) -> NodeId {
-        self.node
+        match &self.inner {
+            CtxInner::Direct { node, .. } | CtxInner::Shard { node, .. } => *node,
+        }
     }
 
     /// This node's name.
     pub fn node_name(&self) -> &str {
-        self.core.names.resolve(self.core.meta[self.node.0].name)
+        match &self.inner {
+            CtxInner::Direct { core, node } => core.names.resolve(core.meta[node.0].name),
+            CtxInner::Shard { exec, node } => exec.node_name(*node),
+        }
     }
 
     /// The engine's deterministic RNG.
+    ///
+    /// **Not available under the sharded executor**: the RNG is global
+    /// state whose draw order IS the determinism contract, and a worker
+    /// cannot know how many draws other shards' handlers would have made
+    /// before it under single-threaded order. Calling this from a handler
+    /// during a sharded run poisons the run — [`Engine::run_until_sharded`]
+    /// returns [`crate::shard::ShardError::HandlerRng`]. Handlers that
+    /// need per-node randomness should derive a stream from their own
+    /// state instead.
     pub fn rng(&mut self) -> &mut Rng {
-        &mut self.core.rng
+        match &mut self.inner {
+            CtxInner::Direct { core, .. } => &mut core.rng,
+            CtxInner::Shard { exec, .. } => exec.poisoned_rng(),
+        }
     }
 
     /// Sends a packet; it is routed by destination address through the
     /// topology's latency/bandwidth model.
     pub fn send(&mut self, pkt: Packet) {
-        self.core.send_from(self.node, pkt, SimTime::ZERO);
+        match &mut self.inner {
+            CtxInner::Direct { core, node } => core.send_from(*node, pkt, SimTime::ZERO),
+            CtxInner::Shard { exec, node } => exec.log_send(*node, pkt, SimTime::ZERO),
+        }
     }
 
     /// Sends a packet after an additional local delay (models local
     /// processing/CPU time before the packet leaves the NIC).
     pub fn send_after(&mut self, delay: SimTime, pkt: Packet) {
-        self.core.send_from(self.node, pkt, delay);
+        match &mut self.inner {
+            CtxInner::Direct { core, node } => core.send_from(*node, pkt, delay),
+            CtxInner::Shard { exec, node } => exec.log_send(*node, pkt, delay),
+        }
     }
 
     /// Arms a one-shot timer `delay` from now.
     pub fn set_timer(&mut self, delay: SimTime, token: TimerToken) -> TimerId {
-        let id = self.core.next_timer_id;
-        self.core.next_timer_id += 1;
-        let generation = self.core.meta[self.node.0].generation;
-        let at = self.core.time + delay;
-        // Timers share the packet/control sequence counter so the total
-        // event order is identical to scheduling them through the heap.
-        let seq = self.core.seq;
-        self.core.seq += 1;
-        let slot = self.core.wheel.arm(
-            at.as_micros(),
-            seq,
-            id,
-            WheelItem::Timer {
-                node: self.node.0,
-                generation,
-                token,
-            },
-        );
-        TimerId { id, slot }
+        match &mut self.inner {
+            CtxInner::Direct { core, node } => {
+                let id = core.next_timer_id;
+                core.next_timer_id += 1;
+                let generation = core.meta[node.0].generation;
+                let at = core.time + delay;
+                // Timers share the packet/control sequence counter so the
+                // total event order is identical to scheduling them
+                // through the heap.
+                let seq = core.seq;
+                core.seq += 1;
+                let slot = core.wheel.arm(
+                    at.as_micros(),
+                    seq,
+                    id,
+                    WheelItem::Timer {
+                        node: node.0,
+                        generation,
+                        token,
+                    },
+                );
+                TimerId { id, slot }
+            }
+            CtxInner::Shard { exec, node } => exec.set_timer(*node, delay, token),
+        }
     }
 
     /// Cancels a previously armed timer in O(1). Cancelling an
@@ -309,40 +414,54 @@ impl Ctx<'_> {
     /// the wheel slot either holds this timer (marked in place) or has
     /// been reclaimed (the stale handle is rejected by id).
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.wheel.cancel(id.slot, id.id);
+        match &mut self.inner {
+            CtxInner::Direct { core, .. } => core.cancel_timer_core(id),
+            CtxInner::Shard { exec, .. } => exec.cancel_timer(id),
+        }
     }
 
     /// Whether tracing is enabled; lets hot paths skip building
     /// `trace_note` strings that would be thrown away.
     pub fn trace_enabled(&self) -> bool {
-        self.core.trace.is_enabled()
+        match &self.inner {
+            CtxInner::Direct { core, .. } => core.trace.is_enabled(),
+            CtxInner::Shard { exec, .. } => exec.trace_enabled(),
+        }
     }
 
     /// Records a free-form annotation in the trace (no-op when tracing is
     /// disabled).
     pub fn trace_note(&mut self, detail: impl Into<String>) {
-        if !self.core.trace.is_enabled() {
-            return;
+        match &mut self.inner {
+            CtxInner::Direct { core, node } => {
+                if !core.trace.is_enabled() {
+                    return;
+                }
+                let ev = TraceEvent {
+                    time: core.time,
+                    node: core.meta[node.0].name,
+                    kind: TraceKind::Note,
+                    src: None,
+                    dst: None,
+                    protocol: None,
+                    detail: detail.into(),
+                };
+                core.trace.record(ev);
+            }
+            CtxInner::Shard { exec, node } => exec.trace_note(*node, detail.into()),
         }
-        let ev = TraceEvent {
-            time: self.core.time,
-            node: self.core.meta[self.node.0].name,
-            kind: TraceKind::Note,
-            src: None,
-            dst: None,
-            protocol: None,
-            detail: detail.into(),
-        };
-        self.core.trace.record(ev);
     }
 
     /// Looks up which node currently owns an address (if any, and alive).
     pub fn resolve(&self, addr: Addr) -> Option<NodeId> {
-        self.core
-            .addr_map
-            .get(addr)
-            .filter(|&id| self.core.meta[id].alive)
-            .map(NodeId)
+        match &self.inner {
+            CtxInner::Direct { core, .. } => core
+                .addr_map
+                .get(addr)
+                .filter(|&id| core.meta[id].alive)
+                .map(NodeId),
+            CtxInner::Shard { exec, .. } => exec.resolve(addr),
+        }
     }
 }
 
@@ -350,8 +469,8 @@ impl Ctx<'_> {
 ///
 /// See the [crate-level docs](crate) for an example.
 pub struct Engine {
-    core: EngineCore,
-    nodes: Vec<Option<Box<dyn Node>>>,
+    pub(crate) core: EngineCore,
+    pub(crate) nodes: Vec<Option<Box<dyn Node>>>,
 }
 
 impl Engine {
@@ -382,6 +501,8 @@ impl Engine {
                 packets_dropped: 0,
                 events_processed: 0,
                 digest: FNV_OFFSET,
+                relocated: BTreeMap::new(),
+                next_prov: 0,
             },
             nodes: Vec::new(),
         }
@@ -676,8 +797,10 @@ impl Engine {
         };
         {
             let mut ctx = Ctx {
-                core: &mut self.core,
-                node: id,
+                inner: CtxInner::Direct {
+                    core: &mut self.core,
+                    node: id,
+                },
             };
             f(&mut node, &mut ctx);
         }
@@ -694,7 +817,7 @@ impl Engine {
     /// time exceeds `limit_us`. Returns `false` without popping anything
     /// when nothing (eligible) is pending, so a deadline-bounded run
     /// makes exactly one peek and one pop per event on each structure.
-    fn step_bounded(&mut self, limit_us: Option<u64>) -> bool {
+    pub(crate) fn step_bounded(&mut self, limit_us: Option<u64>) -> bool {
         let heap_key = self
             .core
             .events
@@ -742,6 +865,12 @@ impl Engine {
                     // travelled through the heap.
                     self.core.digest = fnv_fold(self.core.digest, fired.time);
                     self.core.digest = fnv_fold(self.core.digest, 2u64 ^ (fired.id << 8));
+                    if !self.core.relocated.is_empty() {
+                        // The handle can never cancel this timer again;
+                        // keep the post-shard relocation table bounded by
+                        // the pending-timer count.
+                        self.core.relocated.remove(&fired.match_id);
+                    }
                     if fired.cancelled {
                         return true;
                     }
@@ -824,6 +953,41 @@ impl Engine {
     pub fn run_for(&mut self, duration: SimTime) {
         let deadline = self.core.time + duration;
         self.run_until(deadline);
+    }
+
+    /// Like [`Engine::run_until`], but executes node handlers on
+    /// `threads` parallel shard workers with conservative lookahead
+    /// derived from [`Topology::min_latency`]. The event digest, trace,
+    /// counters, and all node state end bit-for-bit identical to the
+    /// single-threaded run at every thread count — see the `shard` module
+    /// docs for why. `threads <= 1` (or a zero/absent lookahead) falls
+    /// back to the single-threaded path.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::shard::ShardError::HandlerRng`] if any node handler drew
+    /// from [`Ctx::rng`] during a parallel window; engine and node state
+    /// are inconsistent afterwards and the run must be discarded.
+    pub fn run_until_sharded(
+        &mut self,
+        deadline: SimTime,
+        threads: usize,
+    ) -> Result<(), crate::shard::ShardError> {
+        crate::shard::run_until_sharded(self, deadline, threads)
+    }
+
+    /// Sharded [`Engine::run_for`]; see [`Engine::run_until_sharded`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::run_until_sharded`].
+    pub fn run_for_sharded(
+        &mut self,
+        duration: SimTime,
+        threads: usize,
+    ) -> Result<(), crate::shard::ShardError> {
+        let deadline = self.core.time + duration;
+        self.run_until_sharded(deadline, threads)
     }
 
     /// Runs until the event queue is completely drained.

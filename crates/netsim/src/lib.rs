@@ -48,6 +48,7 @@ pub mod node;
 pub mod packet;
 pub mod rng;
 pub mod service;
+pub mod shard;
 pub mod stats;
 pub mod symtab;
 pub mod time;
@@ -63,6 +64,7 @@ pub use packet::{
     Packet, Protocol, PROTO_CTRL, PROTO_IPIP, PROTO_PING, PROTO_PROBE, PROTO_RPC, PROTO_TCP,
 };
 pub use service::ServiceQueue;
+pub use shard::ShardError;
 pub use stats::{Counter, Histogram};
 pub use symtab::{NameId, SymbolTable};
 pub use time::SimTime;

@@ -30,7 +30,7 @@ impl NameId {
 /// Deduplicating: interning the same string twice returns the same id.
 /// Entries are never removed, so a resolved `&str` stays valid as long
 /// as the table lives.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SymbolTable {
     names: Vec<String>,
     // BTreeMap (not HashMap): iteration order never leaks into event

@@ -1,0 +1,365 @@
+//! Sharded-executor equivalence: `Engine::run_until_sharded` must produce
+//! **byte-identical** results to the single-threaded engine at every
+//! worker count — same event digest, same counters, same clock, same
+//! node end-state. This is the dynamic proof of the conservative-
+//! lookahead design in `yoda_netsim::shard`: if any globally-ordered
+//! effect (seq allocation, RNG draw, digest fold, counter bump) happens
+//! in a different order under sharding, the digest diverges and these
+//! tests fail.
+//!
+//! Two scenarios run at 1, 2, and 4 workers against a single-threaded
+//! reference:
+//!
+//! * **pingpong mesh** — latency-only links, packet storms, periodic
+//!   timers with same-tick collisions, and timers cancelled both inside
+//!   their arming window (mini-wheel path) and across windows (handle
+//!   relocation path).
+//! * **chaos** — jittery, lossy, duplicating links (link RNG is drawn at
+//!   replay, in canonical order) plus scheduled crash / generation-
+//!   bumping restore / partition / heal controls interleaved with the
+//!   parallel windows.
+//!
+//! The `scenarios_identical_at_N_workers` tests give the CI matrix a
+//! per-worker-count filter (`cargo test -- at_2_workers`), so the
+//! barrier logic is exercised under real thread interleavings on
+//! multi-core runners at each count separately.
+
+use yoda::netsim::{
+    Addr, Ctx, Endpoint, Engine, Node, Packet, ShardError, SimTime, TimerId, TimerToken,
+    Topology, Zone, PROTO_PING,
+};
+
+/// Everything that must match between a sharded and a single-threaded
+/// run: the digest pins the full event sequence, the rest pins the
+/// externally observable aggregates.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    digest: u64,
+    packets_sent: u64,
+    packets_dropped: u64,
+    events_processed: u64,
+    now_us: u64,
+    timer_backlog: usize,
+    node_state: Vec<(u64, u64)>,
+}
+
+/// Mesh node: floods pings around a ring, re-arms periodic timers
+/// (including two on the same tick), and cancels timers through both
+/// cancellation paths. Deliberately RNG-free: handler randomness is
+/// forbidden under sharding (see `handler_rng_poisons_the_run`).
+struct Mesher {
+    index: u32,
+    ring: u32,
+    received: u64,
+    fires: u64,
+    hops_left: u32,
+    /// Cancelled two fires after arming — by then the arming window is
+    /// long gone, so the cancel exercises the relocation table.
+    old_timer: Option<TimerId>,
+}
+
+impl Mesher {
+    fn addr_of(i: u32, ring: u32) -> Endpoint {
+        Endpoint::new(Addr::new(10, 7, 0, ((i % ring) + 1) as u8), 0)
+    }
+    fn me(&self) -> Endpoint {
+        Mesher::addr_of(self.index, self.ring)
+    }
+}
+
+impl Node for Mesher {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let pkt = Packet::new(
+            self.me(),
+            Mesher::addr_of(self.index + 1, self.ring),
+            PROTO_PING,
+            bytes::Bytes::new(),
+        );
+        ctx.send(pkt);
+        // Same-tick collision: replay must order these by seq.
+        ctx.set_timer(SimTime::from_millis(2), TimerToken::new(1));
+        ctx.set_timer(SimTime::from_millis(2), TimerToken::new(2));
+        // Armed and cancelled in the same handler: the mini-wheel (or the
+        // direct single-threaded path) must still pop it, suppressed.
+        let doomed = ctx.set_timer(SimTime::from_millis(1), TimerToken::new(9));
+        ctx.cancel_timer(doomed);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: Packet) {
+        self.received += 1;
+        if self.hops_left == 0 {
+            return;
+        }
+        self.hops_left -= 1;
+        // Deterministic fan-out: offset varies with local state only.
+        let offset = 1 + (self.received % 3) as u32;
+        let pkt = Packet::new(
+            self.me(),
+            Mesher::addr_of(self.index + offset, self.ring),
+            PROTO_PING,
+            bytes::Bytes::new(),
+        );
+        ctx.send(pkt);
+        if self.received % 4 == 0 {
+            ctx.send_after(SimTime::from_micros(150), pkt_to(self, 2));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        self.fires += 1;
+        if token.kind == 1 && self.fires < 24 {
+            // Re-arm past the lookahead window so the timer crosses an
+            // epoch barrier before firing.
+            let id = ctx.set_timer(SimTime::from_millis(2), TimerToken::new(1));
+            if let Some(old) = self.old_timer.replace(id) {
+                // Stale handle from two windows ago: usually already
+                // fired (no-op), occasionally still pending (relocation
+                // table hit). Both paths must match single-threaded.
+                ctx.cancel_timer(old);
+            }
+            ctx.send(pkt_to(self, 3));
+        }
+    }
+}
+
+fn pkt_to(node: &Mesher, offset: u32) -> Packet {
+    Packet::new(
+        node.me(),
+        Mesher::addr_of(node.index + offset, node.ring),
+        PROTO_PING,
+        bytes::Bytes::new(),
+    )
+}
+
+fn fresh(index: u32, ring: u32) -> Box<Mesher> {
+    Box::new(Mesher {
+        index,
+        ring,
+        received: 0,
+        fires: 0,
+        hops_left: 60,
+        old_timer: None,
+    })
+}
+
+/// Builds the mesh on the given topology and runs it for 300 ms with
+/// `threads` workers (0 = plain single-threaded `run_until`).
+fn run_mesh(topology: Topology, threads: usize, chaos: bool) -> Fingerprint {
+    const RING: u32 = 8;
+    let mut eng = Engine::with_topology(0xD1CE, topology);
+    let mut ids = Vec::new();
+    for i in 0..RING {
+        let id = eng.add_node(
+            format!("mesher-{i}"),
+            Addr::new(10, 7, 0, (i + 1) as u8),
+            Zone::Dc,
+            fresh(i, RING),
+        );
+        ids.push(id);
+    }
+    if chaos {
+        // Controls land mid-run: each one bounds a parallel window, runs
+        // single-threaded, and the executor re-shards afterwards.
+        let victim = ids[3];
+        let cut = ids[5];
+        eng.schedule(SimTime::from_millis(20), move |eng| eng.fail_node(victim));
+        eng.schedule(SimTime::from_millis(60), move |eng| {
+            eng.restore_node(victim, fresh(3, RING));
+        });
+        eng.schedule(SimTime::from_millis(35), move |eng| eng.partition_node(cut));
+        eng.schedule(SimTime::from_millis(90), move |eng| eng.heal_node(cut));
+        eng.schedule(SimTime::from_millis(110), move |eng| {
+            eng.with_node_ctx::<Mesher>(victim, |node, ctx| {
+                ctx.send(pkt_to(node, 1));
+            });
+        });
+    }
+    let deadline = SimTime::from_millis(300);
+    if threads == 0 {
+        eng.run_until(deadline);
+    } else {
+        eng.run_until_sharded(deadline, threads)
+            .expect("mesh handlers never draw handler RNG");
+    }
+    let node_state = ids
+        .iter()
+        .map(|&id| {
+            let n = eng.node_ref::<Mesher>(id);
+            (n.received, n.fires)
+        })
+        .collect();
+    Fingerprint {
+        digest: eng.event_digest(),
+        packets_sent: eng.packets_sent(),
+        packets_dropped: eng.packets_dropped(),
+        events_processed: eng.events_processed(),
+        now_us: eng.now().as_micros(),
+        timer_backlog: eng.timer_backlog(),
+        node_state,
+    }
+}
+
+fn latency_only() -> Topology {
+    Topology::uniform(SimTime::from_micros(500))
+}
+
+fn chaos_links() -> Topology {
+    let mut topo = Topology::uniform(SimTime::from_micros(700));
+    let mut spec = *topo.link(Zone::Dc, Zone::Dc);
+    spec.jitter = SimTime::from_micros(300);
+    spec.loss = 0.05;
+    spec.duplicate = 0.03;
+    topo.set_link(Zone::Dc, Zone::Dc, spec);
+    topo
+}
+
+#[test]
+fn pingpong_mesh_identical_at_1_2_4_workers() {
+    let reference = run_mesh(latency_only(), 0, false);
+    assert!(
+        reference.packets_sent > 500,
+        "scenario too small to be meaningful: {} packets",
+        reference.packets_sent
+    );
+    for threads in [1, 2, 4] {
+        let sharded = run_mesh(latency_only(), threads, false);
+        assert_eq!(
+            sharded, reference,
+            "sharded run at {threads} workers diverged from single-threaded"
+        );
+    }
+}
+
+#[test]
+fn chaos_scenario_identical_at_1_2_4_workers() {
+    let reference = run_mesh(chaos_links(), 0, true);
+    assert!(
+        reference.packets_dropped > 0,
+        "chaos scenario must exercise loss/failure drops"
+    );
+    for threads in [1, 2, 4] {
+        let sharded = run_mesh(chaos_links(), threads, true);
+        assert_eq!(
+            sharded, reference,
+            "sharded chaos run at {threads} workers diverged from single-threaded"
+        );
+    }
+}
+
+/// Both scenarios at one worker count — the unit the CI matrix selects
+/// by name so each count gets its own leg (and its own interleavings)
+/// on a multi-core runner.
+fn assert_identical_at(workers: usize) {
+    assert_eq!(
+        run_mesh(latency_only(), workers, false),
+        run_mesh(latency_only(), 0, false),
+        "pingpong mesh diverged at {workers} workers"
+    );
+    assert_eq!(
+        run_mesh(chaos_links(), workers, true),
+        run_mesh(chaos_links(), 0, true),
+        "chaos scenario diverged at {workers} workers"
+    );
+}
+
+#[test]
+fn scenarios_identical_at_2_workers() {
+    assert_identical_at(2);
+}
+
+#[test]
+fn scenarios_identical_at_4_workers() {
+    assert_identical_at(4);
+}
+
+/// More shards than the sweep tests cover — and more shards than some
+/// nodes have peers — so several workers spend whole windows idle.
+#[test]
+fn scenarios_identical_at_8_workers() {
+    assert_identical_at(8);
+}
+
+/// Sharded runs compose with single-threaded segments: state migrates
+/// fully back at the end of a sharded stretch, so an ST prologue +
+/// sharded middle + ST epilogue equals one uninterrupted ST run.
+#[test]
+fn sharded_segment_composes_with_single_threaded_segments() {
+    let reference = run_mesh(latency_only(), 0, false);
+    let mut eng = Engine::with_topology(0xD1CE, latency_only());
+    let mut ids = Vec::new();
+    for i in 0..8 {
+        ids.push(eng.add_node(
+            format!("mesher-{i}"),
+            Addr::new(10, 7, 0, (i + 1) as u8),
+            Zone::Dc,
+            fresh(i, 8),
+        ));
+    }
+    eng.run_until(SimTime::from_millis(40));
+    eng.run_until_sharded(SimTime::from_millis(220), 3)
+        .expect("no handler RNG");
+    eng.run_until(SimTime::from_millis(300));
+    assert_eq!(eng.event_digest(), reference.digest);
+    assert_eq!(eng.now().as_micros(), reference.now_us);
+    assert_eq!(eng.packets_sent(), reference.packets_sent);
+}
+
+/// A zero-latency link collapses the lookahead; the executor must fall
+/// back to the (always correct) single-threaded path rather than run
+/// empty windows or diverge.
+#[test]
+fn zero_lookahead_falls_back_to_single_threaded() {
+    let zero = || Topology::uniform(SimTime::ZERO);
+    let reference = run_mesh(zero(), 0, false);
+    let sharded = run_mesh(zero(), 4, false);
+    assert_eq!(sharded, reference);
+}
+
+mod handler_rng {
+    use super::*;
+
+    /// A node that (incorrectly) draws engine RNG from a timer handler.
+    struct RngUser;
+
+    impl Node for RngUser {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimTime::from_millis(5), TimerToken::new(1));
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+            let _ = ctx.rng().gen_range(0..4u32);
+        }
+    }
+
+    /// Handler RNG cannot be replayed in canonical order from inside a
+    /// shard, so drawing it during a parallel window must poison the run
+    /// with a diagnostic error instead of silently diverging.
+    #[test]
+    fn handler_rng_poisons_the_run() {
+        let mut eng = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
+        for i in 0..4u32 {
+            eng.add_node(
+                format!("rng-user-{i}"),
+                Addr::new(10, 8, 0, (i + 1) as u8),
+                Zone::Dc,
+                Box::new(RngUser),
+            );
+        }
+        let err = eng
+            .run_until_sharded(SimTime::from_millis(50), 2)
+            .expect_err("drawing Ctx::rng in a parallel window must fail");
+        assert!(matches!(err, ShardError::HandlerRng { .. }), "got {err}");
+        // The same workload is fine single-threaded (the draw order is
+        // well defined there).
+        let mut st = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
+        for i in 0..4u32 {
+            st.add_node(
+                format!("rng-user-{i}"),
+                Addr::new(10, 8, 0, (i + 1) as u8),
+                Zone::Dc,
+                Box::new(RngUser),
+            );
+        }
+        st.run_until(SimTime::from_millis(50));
+    }
+}
