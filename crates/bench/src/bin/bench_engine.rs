@@ -10,6 +10,11 @@
 //!   staggered timers alive, cancelling half of them before they fire.
 //! * `trace_ring`     — the ping-pong mesh with tracing enabled, isolating
 //!   the per-event trace-record cost (node-name interning).
+//! * `full_testbed`   — the paper's testbed end to end (browsers, TCP,
+//!   muxes, Yoda instances with a prequal policy, stores, controller):
+//!   the realistic event mix, dominated by TCP segment handling rather
+//!   than raw dispatch. Runs in the sharded sweep too — per-node RNG
+//!   streams make its digest identical at every worker count.
 //!
 //! The simulation content is fully deterministic (each scenario prints its
 //! `event_digest`, which must be identical across hosts and across engine
@@ -42,6 +47,8 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use yoda_bench::{arg_flag, arg_str, arg_usize};
+use yoda_core::testbed::{Testbed, TestbedConfig};
+use yoda_http::BrowserConfig;
 use yoda_netsim::{
     Addr, Ctx, Endpoint, Engine, Node, Packet, SimTime, TimerToken, Topology, Zone, PROTO_PING,
 };
@@ -106,6 +113,7 @@ fn mesh_addr(i: u32) -> Addr {
 /// here.
 const PINGPONG_DIGEST_FULL: u64 = 0xb9f7_9de3_8943_a8cd;
 const CHURN_DIGEST_FULL: u64 = 0x9653_0dd7_2d5c_a05f;
+const TESTBED_DIGEST_FULL: u64 = 0x446b_d132_40f8_1607;
 
 struct Measurement {
     name: &'static str,
@@ -152,8 +160,7 @@ fn measure(
         if threads == 0 {
             eng.run_for(duration);
         } else {
-            eng.run_for_sharded(duration, threads)
-                .expect("bench handlers never draw Ctx::rng");
+            eng.run_for_sharded(duration, threads);
         }
         let elapsed_ns = t0.elapsed().as_nanos().max(1);
         let m = Measurement {
@@ -224,6 +231,44 @@ fn trace_ring(nodes: u32, fanout: u32) -> Engine {
     let mut eng = pingpong_mesh(nodes, fanout);
     eng.enable_trace(1 << 16);
     eng
+}
+
+/// The realistic workload: a scaled-down paper testbed with browsers
+/// fetching through the full L4/L7 stack and a prequal policy installed
+/// at 100 ms (so the probe path is hot too). Returns the bare engine;
+/// `measure` drives it directly, single-threaded or sharded.
+fn full_testbed() -> Engine {
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 0xBEEF,
+        num_instances: 3,
+        num_spares: 0,
+        num_stores: 2,
+        num_backends: 8,
+        num_muxes: 2,
+        num_services: 2,
+        pages_per_site: 8,
+        ..TestbedConfig::default()
+    });
+    let vip = tb.vips[0];
+    let backends: Vec<String> = tb.service_backends[0]
+        .iter()
+        .map(|b| b.to_string())
+        .collect();
+    let rules = format!(
+        "name=pq-0 priority=1 match * action=prequal {}",
+        backends.join(" ")
+    );
+    tb.set_policy_at(vip, &rules, SimTime::from_millis(100));
+    for service in 0..2 {
+        tb.add_browser(
+            service,
+            BrowserConfig {
+                processes: 2,
+                ..BrowserConfig::default()
+            },
+        );
+    }
+    tb.engine
 }
 
 fn json_block(mode: &str, results: &[Measurement]) -> String {
@@ -320,6 +365,9 @@ fn main() {
             trace_ring(512, 4)
         }));
     }
+    if wanted("full_testbed") {
+        results.push(measure("full_testbed", 0, repeats, duration, full_testbed));
+    }
 
     for m in &results {
         eprintln!(
@@ -352,6 +400,9 @@ fn main() {
                 timer_churn(64, 16)
             }));
         }
+        if wanted("full_testbed") {
+            sharded.push(measure("full_testbed", threads, repeats, duration, full_testbed));
+        }
     }
     for m in &sharded {
         if let Some(expect) = st_digest(m.name) {
@@ -364,7 +415,8 @@ fn main() {
         if !smoke {
             let committed = match m.name {
                 "pingpong_mesh" => PINGPONG_DIGEST_FULL,
-                _ => CHURN_DIGEST_FULL,
+                "timer_churn" => CHURN_DIGEST_FULL,
+                _ => TESTBED_DIGEST_FULL,
             };
             assert_eq!(
                 m.digest, committed,
@@ -392,7 +444,7 @@ fn main() {
         .unwrap_or_else(|| current.clone());
 
     let report = format!(
-        "{{\n  \"bench\": \"bench_engine\",\n  \"schema\": 2,\n  \"baseline\":\n{baseline},\n  \"current\":\n{current},\n  \"sharded\":\n{sharded_block}\n}}\n"
+        "{{\n  \"bench\": \"bench_engine\",\n  \"schema\": 3,\n  \"baseline\":\n{baseline},\n  \"current\":\n{current},\n  \"sharded\":\n{sharded_block}\n}}\n"
     );
     match arg_str("update") {
         Some(path) => {

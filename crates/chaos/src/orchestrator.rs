@@ -44,10 +44,10 @@ pub struct ChaosScenario {
     /// Fault-plan budget.
     pub budget: PlanBudget,
     /// Sharded-executor workers for the testbed run (`0` = classic
-    /// single-threaded). Opt-in and currently only useful with RNG-free
-    /// node sets: the stock browser/TCP handlers draw `Ctx::rng`, which
-    /// the sharded executor rejects (`ShardError::HandlerRng`) rather
-    /// than letting draw order diverge across shards.
+    /// single-threaded). The stock browser/TCP handlers draw from
+    /// per-node RNG streams (`Ctx::node_rng`), so chaos runs shard at
+    /// any worker count with digests identical to single-threaded —
+    /// seed repro commands stay valid regardless of this knob.
     pub threads: usize,
 }
 

@@ -713,7 +713,7 @@ impl YodaInstance {
             self.flows.remove(&key);
             return;
         };
-        let Some(selection) = vcfg.rules.select_full(req, &self.select_ctx, ctx.rng()) else {
+        let Some(selection) = vcfg.rules.select_full(req, &self.select_ctx, ctx.node_rng()) else {
             // No rule matched (or all backends dead): drop the flow.
             self.dropped_unknown += 1;
             self.flows.remove(&key);
@@ -1039,7 +1039,7 @@ impl YodaInstance {
         let Some(vcfg) = self.vips.get_mut(&vip) else {
             return;
         };
-        let Some(new_backend) = vcfg.rules.select(&req, &self.select_ctx, ctx.rng()) else {
+        let Some(new_backend) = vcfg.rules.select(&req, &self.select_ctx, ctx.node_rng()) else {
             return;
         };
         if new_backend == current || already_switching {
@@ -1632,7 +1632,7 @@ impl YodaInstance {
         });
         if !candidates.is_empty() {
             let cands: Vec<Endpoint> = candidates.into_iter().collect();
-            let targets = self.prober.sample(&cands, ctx.rng());
+            let targets = self.prober.sample(&cands, ctx.node_rng());
             let src = Endpoint::new(self.addr, PROBE_PORT);
             for b in targets {
                 let tag = self.prober.begin(b, now);

@@ -51,10 +51,11 @@ pub struct TestbedConfig {
     /// Network topology.
     pub topology: Topology,
     /// Worker threads for the sharded executor (`0` or `1` = classic
-    /// single-threaded execution). Opt-in: scenarios whose node handlers
-    /// draw `Ctx::rng` — which includes the stock browser/TCP stack —
-    /// fail fast with `ShardError::HandlerRng` instead of silently
-    /// diverging, so only RNG-free node sets can run sharded today.
+    /// single-threaded execution). The stock testbed — browser think
+    /// times, TCP ISNs, instance probe picks — draws from per-node RNG
+    /// streams (`Ctx::node_rng`), which replay identically at every
+    /// worker count, so any scenario can run sharded with digests
+    /// bit-for-bit equal to the single-threaded reference.
     pub threads: usize,
 }
 
@@ -278,20 +279,14 @@ impl Testbed {
     /// Advances the simulation by `duration`, honouring the
     /// [`TestbedConfig::threads`] knob: `0`/`1` runs the classic
     /// single-threaded loop, anything higher the sharded multi-core
-    /// executor (whose digests are bit-identical by construction).
-    ///
-    /// Sharded runs are opt-in because the stock testbed nodes (browser
-    /// think times, TCP retransmit jitter, instance load probes) draw
-    /// `Ctx::rng` inside packet/timer handlers, which the sharded
-    /// executor rejects — a run with such nodes panics with the
-    /// offending shard rather than diverging silently. RNG-free
-    /// scenarios pass `threads >= 2` and get parallel execution with
-    /// the same digest.
+    /// executor. Handler randomness comes from per-node streams, so the
+    /// digest, counters, and node state are bit-for-bit identical at
+    /// every worker count.
     pub fn run_for(&mut self, duration: SimTime) {
         if self.threads <= 1 {
             self.engine.run_for(duration);
-        } else if let Err(e) = self.engine.run_for_sharded(duration, self.threads) {
-            panic!("sharded testbed run failed: {e} (this scenario's handlers draw Ctx::rng; run with threads = 0)");
+        } else {
+            self.engine.run_for_sharded(duration, self.threads);
         }
     }
 

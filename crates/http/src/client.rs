@@ -215,7 +215,7 @@ impl BrowserClient {
             }
         } else {
             let site = self.catalog.site(self.cfg.site);
-            let page_idx = ctx.rng().gen_range(0..site.pages.len());
+            let page_idx = ctx.node_rng().gen_range(0..site.pages.len());
             let page = self.catalog.page(self.cfg.site, page_idx);
             let mut q = vec![page.html];
             q.extend(page.embedded.iter().copied());
@@ -613,7 +613,7 @@ impl RateClient {
             },
             None => {
                 let site = self.catalog.site(self.cfg.site);
-                let oi = ctx.rng().gen_range(0..site.objects.len());
+                let oi = ctx.node_rng().gen_range(0..site.objects.len());
                 ObjectId {
                     site: self.cfg.site,
                     object: oi,

@@ -45,6 +45,16 @@ pub(crate) struct NodeMeta {
     /// Bumped on restore so stale timers from before a crash never fire.
     pub(crate) generation: u64,
     pub(crate) addrs: Vec<Addr>,
+    /// This node's private RNG stream, split from the engine seed by
+    /// [`NodeId`] at `add_node`. Handlers draw from it via
+    /// [`Ctx::node_rng`]: because it is keyed by node and each node's
+    /// handler invocation order is identical under the single-threaded
+    /// and sharded executors, the draw sequence — and therefore every
+    /// digest — is independent of worker count. Migrated with the node
+    /// across re-shardings; deliberately NOT reset by
+    /// [`Engine::restore_node`] (a restarted process keeps consuming the
+    /// same stream, so a restore never replays earlier randomness).
+    pub(crate) rng: Rng,
 }
 
 /// Payload of a heap-scheduled event. Only the rare control closure
@@ -93,6 +103,10 @@ pub(crate) struct EngineCore {
     pub(crate) names: SymbolTable,
     pub(crate) addr_map: AddrMap,
     pub(crate) rng: Rng,
+    /// The seed the engine was built with; per-node streams are split
+    /// from it at `add_node` so node randomness never touches the global
+    /// `rng` draw order.
+    pub(crate) seed: u64,
     pub(crate) topology: Topology,
     pub(crate) trace: TraceSink,
     pub(crate) next_timer_id: u64,
@@ -289,6 +303,11 @@ impl EngineCore {
     pub(crate) fn next_control_time(&self) -> Option<u64> {
         self.events.peek().map(|&Reverse(e)| e.time)
     }
+
+    /// The node's private RNG stream (see [`NodeMeta::rng`]).
+    pub(crate) fn node_rng(&mut self, node: NodeId) -> &mut Rng {
+        &mut self.meta[node.0].rng
+    }
 }
 
 /// The world a [`Node`] sees while handling an event.
@@ -296,7 +315,10 @@ impl EngineCore {
 /// Backed either by the engine core directly (single-threaded execution)
 /// or by a shard worker (parallel execution): handlers cannot tell the
 /// difference, which is what lets the sharded executor run unmodified
-/// nodes. The one exception is [`Ctx::rng`] — see its docs.
+/// nodes. Handler randomness comes from the per-node stream
+/// ([`Ctx::node_rng`]), which is identical in both modes; the
+/// engine-global stream ([`Ctx::rng`]) is single-threaded-only — see its
+/// docs.
 pub struct Ctx<'a> {
     inner: CtxInner<'a>,
 }
@@ -345,20 +367,39 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    /// The engine's deterministic RNG.
+    /// The engine-global deterministic RNG.
     ///
-    /// **Not available under the sharded executor**: the RNG is global
-    /// state whose draw order IS the determinism contract, and a worker
-    /// cannot know how many draws other shards' handlers would have made
-    /// before it under single-threaded order. Calling this from a handler
-    /// during a sharded run poisons the run — [`Engine::run_until_sharded`]
-    /// returns [`crate::shard::ShardError::HandlerRng`]. Handlers that
-    /// need per-node randomness should derive a stream from their own
-    /// state instead.
+    /// **Single-threaded only**: the global stream's draw order IS part
+    /// of the determinism contract, and a shard worker cannot know how
+    /// many draws other shards' handlers would have made before it under
+    /// single-threaded order. Handlers should draw from [`Ctx::node_rng`]
+    /// instead — the `yoda-tidy` effect pass rejects `Ctx::rng` in any
+    /// handler-reachable function, and this accessor panics if one slips
+    /// through at runtime during a parallel window. The global stream
+    /// remains available to single-threaded scenario drivers and the
+    /// engine's own link model.
     pub fn rng(&mut self) -> &mut Rng {
         match &mut self.inner {
             CtxInner::Direct { core, .. } => &mut core.rng,
-            CtxInner::Shard { exec, .. } => exec.poisoned_rng(),
+            CtxInner::Shard { .. } => panic!(
+                "Ctx::rng is the engine-global stream and is not available \
+                 under the sharded executor; draw from Ctx::node_rng instead"
+            ),
+        }
+    }
+
+    /// This node's private RNG stream, split from the engine seed by
+    /// [`NodeId`] at spawn and migrated with the node across
+    /// re-shardings. Identical under the single-threaded and sharded
+    /// executors at every worker count: each node's handlers run in the
+    /// same order in both modes, so the per-node draw sequence — unlike
+    /// the engine-global [`Ctx::rng`] stream — cannot observe how shards
+    /// interleave. This is the sanctioned randomness source for
+    /// `on_packet`/`on_timer`/`on_tick` code.
+    pub fn node_rng(&mut self) -> &mut Rng {
+        match &mut self.inner {
+            CtxInner::Direct { core, node } => core.node_rng(*node),
+            CtxInner::Shard { exec, node } => exec.node_rng(*node),
         }
     }
 
@@ -494,6 +535,7 @@ impl Engine {
                 names: SymbolTable::new(),
                 addr_map: AddrMap::new(),
                 rng: Rng::seed_from_u64(seed),
+                seed,
                 topology,
                 trace: TraceSink::disabled(),
                 next_timer_id: 0,
@@ -580,6 +622,11 @@ impl Engine {
         let prev = self.core.addr_map.insert(addr, id.0);
         assert!(prev.is_none(), "address {addr} already in use");
         let name = self.core.names.intern(&name.into());
+        // Split a per-node stream off the engine seed. The `+ 1` salt
+        // keeps node 0's stream distinct from the engine-global stream
+        // (which is seeded from the raw seed).
+        let mut mix = self.core.seed ^ (id.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let rng = Rng::seed_from_u64(crate::rng::splitmix64(&mut mix));
         self.core.meta.push(NodeMeta {
             name,
             zone,
@@ -588,6 +635,7 @@ impl Engine {
             cut_out: false,
             generation: 0,
             addrs: vec![addr],
+            rng,
         });
         self.nodes.push(Some(node));
         self.core.push(
@@ -963,31 +1011,18 @@ impl Engine {
     /// docs for why. `threads <= 1` (or a zero/absent lookahead) falls
     /// back to the single-threaded path.
     ///
-    /// # Errors
-    ///
-    /// [`crate::shard::ShardError::HandlerRng`] if any node handler drew
-    /// from [`Ctx::rng`] during a parallel window; engine and node state
-    /// are inconsistent afterwards and the run must be discarded.
-    pub fn run_until_sharded(
-        &mut self,
-        deadline: SimTime,
-        threads: usize,
-    ) -> Result<(), crate::shard::ShardError> {
-        crate::shard::run_until_sharded(self, deadline, threads)
+    /// Handler randomness is fully supported: nodes draw from their
+    /// per-node streams ([`Ctx::node_rng`]), which replay identically at
+    /// every worker count, so the stock browser/TCP/prequal testbed runs
+    /// sharded with single-threaded digests.
+    pub fn run_until_sharded(&mut self, deadline: SimTime, threads: usize) {
+        crate::shard::run_until_sharded(self, deadline, threads);
     }
 
     /// Sharded [`Engine::run_for`]; see [`Engine::run_until_sharded`].
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`Engine::run_until_sharded`].
-    pub fn run_for_sharded(
-        &mut self,
-        duration: SimTime,
-        threads: usize,
-    ) -> Result<(), crate::shard::ShardError> {
+    pub fn run_for_sharded(&mut self, duration: SimTime, threads: usize) {
         let deadline = self.core.time + duration;
-        self.run_until_sharded(deadline, threads)
+        self.run_until_sharded(deadline, threads);
     }
 
     /// Runs until the event queue is completely drained.

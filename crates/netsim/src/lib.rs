@@ -64,7 +64,6 @@ pub use packet::{
     Packet, Protocol, PROTO_CTRL, PROTO_IPIP, PROTO_PING, PROTO_PROBE, PROTO_RPC, PROTO_TCP,
 };
 pub use service::ServiceQueue;
-pub use shard::ShardError;
 pub use stats::{Counter, Histogram};
 pub use symtab::{NameId, SymbolTable};
 pub use time::SimTime;

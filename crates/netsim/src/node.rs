@@ -93,7 +93,10 @@ impl TimerToken {
 /// A simulated host.
 ///
 /// Implementations must be deterministic: any randomness must come from
-/// [`Ctx::rng`](crate::engine::Ctx::rng) so replays are exact.
+/// the node's private stream, [`Ctx::node_rng`](crate::engine::Ctx::node_rng),
+/// so replays are exact at every worker count (the engine-global
+/// [`Ctx::rng`](crate::engine::Ctx::rng) is reserved for single-threaded
+/// scenario drivers).
 ///
 /// The `Send` supertrait is the compile-time half of the shard-safety
 /// story: the sharded multi-core engine moves node state between worker

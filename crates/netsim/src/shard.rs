@@ -66,11 +66,16 @@
 //! (some link has zero latency) disables sharding entirely — the run
 //! falls back to [`Engine::run_until`], which is always correct.
 //!
-//! Handler RNG is the one observable the replay cannot reproduce: a
-//! worker cannot know how many draws other shards' handlers would have
-//! made before it in single-threaded order. [`Ctx::rng`] in shard mode
-//! therefore poisons the run ([`ShardError::HandlerRng`]) instead of
-//! silently diverging.
+//! Handler randomness comes from per-node streams ([`Ctx::node_rng`]):
+//! each node's stream is split from the engine seed by [`NodeId`] at
+//! spawn and travels with the node across re-shardings, so its draw
+//! sequence depends only on that node's own handler order — identical at
+//! every worker count — never on how shards interleave. The
+//! engine-global stream ([`Ctx::rng`]) remains unsupported in shard mode
+//! (a worker cannot know how many draws other shards' handlers would
+//! have made before it in single-threaded order) and panics if a handler
+//! reaches for it; the `yoda-tidy` effect pass rejects such code
+//! statically.
 //!
 //! # Panic containment
 //!
@@ -109,33 +114,6 @@ const SHARD_SHIFT: u32 = 48;
 
 /// Window sentinel telling workers to exit their loop.
 const STOP: u64 = u64::MAX;
-
-/// Why a sharded run could not complete.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ShardError {
-    /// A node handler drew from [`Ctx::rng`] during a parallel window.
-    /// The global RNG's draw order is the determinism contract and
-    /// cannot be reproduced from inside a shard, so the run is poisoned:
-    /// engine and node state are inconsistent and must be discarded.
-    HandlerRng {
-        /// Lowest-indexed shard whose handler drew (for diagnostics).
-        shard: usize,
-    },
-}
-
-impl std::fmt::Display for ShardError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ShardError::HandlerRng { shard } => write!(
-                f,
-                "node handler on shard {shard} drew from Ctx::rng during a \
-                 sharded run; handler randomness must be node-local"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for ShardError {}
 
 /// Merge key of a logged event: the real sequence number when the event
 /// was armed before the window (engine-assigned), or the provisional id
@@ -231,12 +209,11 @@ enum Op {
 }
 
 /// A worker's phase-A log: per-event records plus the flat op stream
-/// they index into, and the handler-RNG poison flag.
+/// they index into.
 #[derive(Debug, Default)]
 pub struct ShardMailbox {
     records: Vec<Record>,
     ops: Vec<Op>,
-    rng_poisoned: bool,
 }
 
 /// A timer fired from the [`MiniWheel`].
@@ -391,9 +368,15 @@ pub struct ShardWorker {
     locals: Vec<LocalMeta>,
     /// Read-only engine state snapshot.
     snap: Snapshot,
-    /// Sink for poisoned [`Ctx::rng`] calls; its draws are never
-    /// observable because a poisoned run is discarded.
-    dummy_rng: Rng,
+    /// Per-node RNG streams for this shard's nodes, same indexing as
+    /// `nodes`/`locals`; moved out of [`NodeMeta`] at migrate-out and
+    /// back at migrate-in, so a node's stream survives re-shardings.
+    rngs: Vec<Rng>,
+    /// Fallback stream handed out if `node_rng` is asked about a node
+    /// this shard does not own — unreachable via [`Ctx`], whose node id
+    /// always is the dispatched node, but kept so the hot accessor never
+    /// panics.
+    spare_rng: Rng,
 }
 
 impl ShardWorker {
@@ -411,7 +394,8 @@ impl ShardWorker {
             nodes: Vec::new(),
             locals: Vec::new(),
             snap: Snapshot::default(),
-            dummy_rng: Rng::seed_from_u64(0),
+            rngs: Vec::new(),
+            spare_rng: Rng::seed_from_u64(0),
         }
     }
 
@@ -435,11 +419,13 @@ impl ShardWorker {
         }
     }
 
-    /// Poisons the run and hands back a throwaway RNG; see
-    /// [`ShardError::HandlerRng`].
-    pub(crate) fn poisoned_rng(&mut self) -> &mut Rng {
-        self.mailbox.rng_poisoned = true;
-        &mut self.dummy_rng
+    /// The node's private RNG stream (see [`crate::engine::Ctx::node_rng`]).
+    pub(crate) fn node_rng(&mut self, node: NodeId) -> &mut Rng {
+        let li = self.local_index(node.0);
+        match self.rngs.get_mut(li) {
+            Some(rng) => rng,
+            None => &mut self.spare_rng,
+        }
     }
 
     /// Logs a deferred send. Safe to defer because the minimum link
@@ -790,6 +776,7 @@ fn migrate_out(eng: &mut Engine, guards: &mut [MutexGuard<'_, ShardWorker>]) {
         };
         g.nodes.clear();
         g.locals.clear();
+        g.rngs.clear();
     }
     for (i, (slot, meta)) in eng
         .nodes
@@ -805,6 +792,7 @@ fn migrate_out(eng: &mut Engine, guards: &mut [MutexGuard<'_, ShardWorker>]) {
                 cut_in: meta.cut_in,
                 generation: meta.generation,
             });
+            g.rngs.push(meta.rng.clone());
         }
     }
     let mut wheel = std::mem::replace(&mut eng.core.wheel, TimerWheel::new());
@@ -848,6 +836,14 @@ fn migrate_in(eng: &mut Engine, guards: &mut [MutexGuard<'_, ShardWorker>]) {
             let global = li * shards + s;
             if let Some(dst) = eng.nodes.get_mut(global) {
                 *dst = slot.take();
+            }
+        }
+        // Write each node's advanced RNG stream back so the next
+        // sharding (or single-threaded interlude) continues it.
+        for (li, rng) in g.rngs.drain(..).enumerate() {
+            let global = li * shards + s;
+            if let Some(meta) = eng.core.meta.get_mut(global) {
+                meta.rng = rng;
             }
         }
         g.nodes.clear();
@@ -1066,7 +1062,7 @@ fn coordinate(
     cells: &[Mutex<ShardWorker>],
     barrier: &EpochBarrier,
     deadline: SimTime,
-) -> Result<(), ShardError> {
+) {
     let limit = deadline.as_micros();
     let mut guards: Vec<MutexGuard<'_, ShardWorker>> = cells.iter().map(lock_cell).collect();
     migrate_out(eng, &mut guards);
@@ -1086,7 +1082,7 @@ fn coordinate(
                 eng.core.time = deadline;
                 eng.core.wheel.advance(limit);
             }
-            return Ok(());
+            return;
         };
         let lookahead = eng.core.topology.min_latency();
         if lookahead == Some(SimTime::ZERO) {
@@ -1096,7 +1092,7 @@ fn coordinate(
             // reference.
             migrate_in(eng, &mut guards);
             eng.run_until(deadline);
-            return Ok(());
+            return;
         }
         let e_eff = eng.core.time.as_micros().max(next);
         let mut w = match lookahead {
@@ -1128,14 +1124,6 @@ fn coordinate(
             // like the single-threaded engine would.
             resume_unwind(payload);
         }
-        if let Some(shard) = (0..guards.len())
-            .find(|&s| guards.get(s).is_some_and(|g| g.mailbox.rng_poisoned))
-        {
-            // Put node state back so the engine is not dismembered, but
-            // the run is unsalvageable: draws were skipped.
-            migrate_in(eng, &mut guards);
-            return Err(ShardError::HandlerRng { shard });
-        }
         replay_window(eng, &mut guards, w);
     }
 }
@@ -1143,15 +1131,11 @@ fn coordinate(
 /// Entry point behind [`Engine::run_until_sharded`]. Falls back to the
 /// single-threaded path when it is trivially equivalent (one thread,
 /// one node) or required for correctness (zero lookahead).
-pub(crate) fn run_until_sharded(
-    eng: &mut Engine,
-    deadline: SimTime,
-    threads: usize,
-) -> Result<(), ShardError> {
+pub(crate) fn run_until_sharded(eng: &mut Engine, deadline: SimTime, threads: usize) {
     let shards = threads.min(eng.nodes.len().max(1));
     if shards <= 1 || eng.core.topology.min_latency() == Some(SimTime::ZERO) {
         eng.run_until(deadline);
-        return Ok(());
+        return;
     }
     let prov_base = eng.core.next_prov;
     let cells: Vec<Mutex<ShardWorker>> = (0..shards)
@@ -1178,8 +1162,7 @@ pub(crate) fn run_until_sharded(
         let worker = cell.into_inner().unwrap_or_else(PoisonError::into_inner);
         eng.core.next_prov = eng.core.next_prov.max(worker.prov_ctr);
     }
-    match result {
-        Ok(r) => r,
-        Err(payload) => resume_unwind(payload),
+    if let Err(payload) = result {
+        resume_unwind(payload);
     }
 }

@@ -163,7 +163,7 @@ impl ProxyInstance {
                 let Some(table) = self.vips.get_mut(&vip) else {
                     return;
                 };
-                let Some(backend) = table.select(&req, &self.select_ctx, ctx.rng()) else {
+                let Some(backend) = table.select(&req, &self.select_ctx, ctx.node_rng()) else {
                     return;
                 };
                 self.requests += 1;

@@ -129,9 +129,9 @@ impl TcpStack {
     }
 
     /// Opens a connection from `local` to `remote`, sending the SYN.
-    /// The ISN is drawn from the simulation RNG.
+    /// The ISN is drawn from the node's private RNG stream.
     pub fn connect(&mut self, ctx: &mut Ctx<'_>, local: Endpoint, remote: Endpoint) -> ConnId {
-        let iss = SeqNum::new(ctx.rng().next_u32());
+        let iss = SeqNum::new(ctx.node_rng().next_u32());
         self.connect_with_isn(ctx, local, remote, iss)
     }
 
@@ -230,7 +230,7 @@ impl TcpStack {
             Entry::Vacant(_) => {
                 // New flow: maybe a listener accepts it.
                 if seg.flags.syn && !seg.flags.ack && self.listeners.contains(&pkt.dst) {
-                    let iss = SeqNum::new(ctx.rng().next_u32());
+                    let iss = SeqNum::new(ctx.node_rng().next_u32());
                     if let Some((sock, synack)) =
                         TcpSocket::accept(self.cfg, pkt.dst, pkt.src, &seg, iss, now)
                     {

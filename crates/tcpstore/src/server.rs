@@ -138,7 +138,7 @@ impl Node for StoreServer {
             }
         }
         // CPU model: the reply leaves once a core has processed the op.
-        let affinity = ctx.rng().gen_range(0..self.cfg.cores as u64);
+        let affinity = ctx.node_rng().gen_range(0..self.cfg.cores as u64);
         let done = self.cpu.submit(ctx.now(), self.cfg.per_op_service, affinity);
         let delay = done.saturating_sub(ctx.now());
         let resp = StoreResponse {

@@ -46,6 +46,13 @@
 //!   (`Rc`/`Arc`/`Weak`/`RefCell`/`Cell`/raw pointers) is flagged, `Arc`
 //!   included — shared *ownership* across nodes breaks deterministic
 //!   epoch-barrier merging even when the type is `Send`.
+//! * **effect-\*** — the interprocedural effect-signature pass (see
+//!   `effects`): every function gets a signature over a seven-effect
+//!   lattice (rng-draw, clock-read, seq-alloc, digest-fold,
+//!   engine-global-mut, unordered-iter, io-env), propagated to a
+//!   fixpoint along the call graph; a handler reaching a strict effect
+//!   outside the sanctioned `Ctx` API is a violation with a
+//!   `root → … → fn` taint path. `--effects` dumps the signatures.
 //! * **workspace-hygiene** — every crate denies warnings, library code
 //!   has no debug prints, TODOs carry an issue tag, and every manifest
 //!   dependency is an in-tree `path` dependency (hermetic build).
@@ -62,6 +69,7 @@
 #![deny(warnings)]
 
 pub mod callgraph;
+pub mod effects;
 pub mod lexer;
 pub mod parser;
 
@@ -76,7 +84,7 @@ use parser::parse_fns;
 
 /// Crates whose event handling feeds the deterministic simulation; map
 /// iteration order inside them can leak into event scheduling.
-const SIM_CRATES: &[&str] = &[
+pub(crate) const SIM_CRATES: &[&str] = &[
     "crates/netsim/src/",
     "crates/balance/src/",
     "crates/tcp/src/",
@@ -90,7 +98,7 @@ const SIM_CRATES: &[&str] = &[
 /// per-timer handlers the engine dispatches into. (`on_tick` is listed
 /// for forward compatibility; the instance probe tick currently runs
 /// from `on_timer`.)
-const HOT_ROOT_NAMES: &[&str] = &["on_packet", "on_timer", "on_tick"];
+pub(crate) const HOT_ROOT_NAMES: &[&str] = &["on_packet", "on_timer", "on_tick"];
 
 /// The measurement harness: the one place allowed to read wall clocks,
 /// process args, and print (it measures the host, not the simulation).
@@ -254,11 +262,37 @@ pub fn run(root: &Path) -> Report {
     }
 }
 
+/// Runs only the effect-signature pass over the workspace rooted at
+/// `root` and returns its report — the `--effects` CLI mode. (The full
+/// analysis runs; violations and the allowlist are simply not
+/// consulted, so the dump is stable even on a dirty tree.)
+pub fn run_effects(root: &Path) -> effects::EffectsReport {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in rust_files(root) {
+        let rel = rel_path(root, &path);
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        sources.push((rel, text));
+    }
+    let (_, _, report) = analyze_full(&sources);
+    report
+}
+
 /// Runs the source-level analysis (everything except the manifest rule
 /// and the allowlist) over in-memory `(repo-relative-path, source)`
 /// pairs. Public so tests can drive the analyzer over fixture
 /// mini-workspaces without touching the disk.
 pub fn analyze(sources: &[(String, String)]) -> (Vec<Violation>, Stats) {
+    let (violations, stats, _) = analyze_full(sources);
+    (violations, stats)
+}
+
+/// [`analyze`], plus the per-function effect-signature report the
+/// `--effects` CLI mode dumps.
+pub fn analyze_full(
+    sources: &[(String, String)],
+) -> (Vec<Violation>, Stats, effects::EffectsReport) {
     let mut violations = Vec::new();
 
     let lexed: Vec<(String, Vec<LexedLine>)> = sources
@@ -419,6 +453,12 @@ pub fn analyze(sources: &[(String, String)]) -> (Vec<Violation>, Stats) {
         }
     }
 
+    // effect-*: the interprocedural effect-signature pass — strict
+    // effects reachable from a handler outside the sanctioned Ctx API,
+    // plus the per-function signatures for the --effects dump.
+    let (effect_violations, effects_report) = effects::analyze_effects(&graph, &by_rel);
+    violations.extend(effect_violations);
+
     let stats = Stats {
         files: sources.len(),
         functions: graph.fns.len(),
@@ -432,7 +472,7 @@ pub fn analyze(sources: &[(String, String)]) -> (Vec<Violation>, Stats) {
             })
             .count(),
     };
-    (violations, stats)
+    (violations, stats, effects_report)
 }
 
 /// Whether a file's functions participate in the call graph.
@@ -797,7 +837,7 @@ pub fn to_json(report: &Report) -> String {
     s
 }
 
-fn json_str(raw: &str) -> String {
+pub(crate) fn json_str(raw: &str) -> String {
     let mut s = String::with_capacity(raw.len() + 2);
     s.push('"');
     for c in raw.chars() {

@@ -1,10 +1,12 @@
-//! CLI entry point: `cargo run -p yoda-tidy [-- --json]`.
+//! CLI entry point: `cargo run -p yoda-tidy [-- --json | --effects]`.
 //!
 //! Prints every violation (with its taint path, when the violation is
 //! derived from the call graph) and exits non-zero if the tree is not
 //! clean. `--json` emits the machine-readable report instead; CI uploads
 //! it as an artifact and `scripts/check.sh` diffs the violation count
-//! against `results/tidy_baseline.json`.
+//! against `results/tidy_baseline.json`. `--effects` dumps the
+//! per-function effect signatures (committed as
+//! `results/tidy_effects.json`, delta-gated the same way).
 
 #![deny(warnings)]
 
@@ -12,6 +14,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let json = std::env::args().any(|a| a == "--json");
+    let effects = std::env::args().any(|a| a == "--effects");
     let root = match yoda_tidy::workspace_root() {
         Ok(root) => root,
         Err(e) => {
@@ -19,6 +22,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if effects {
+        let report = yoda_tidy::run_effects(&root);
+        print!("{}", yoda_tidy::effects::to_json(&report));
+        return ExitCode::SUCCESS;
+    }
     let report = yoda_tidy::run(&root);
 
     if json {

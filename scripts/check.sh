@@ -40,6 +40,38 @@ if (( shard_current > shard_baseline )); then
     grep '"rule": "shard-' "$report" || true
     exit 1
 fi
+# Effect-discipline categories gate the same way: a handler reaching a
+# strict effect outside the sanctioned Ctx API breaks sharded replay, so
+# a new one must fail even when the overall count stays flat.
+effect_current=$(grep -c '"rule": "effect-' "$report" || true)
+effect_baseline=0
+if [[ -f results/tidy_baseline.json ]]; then
+    effect_baseline=$(grep -c '"rule": "effect-' results/tidy_baseline.json || true)
+fi
+echo "tidy: effect-discipline ${effect_current} violation(s); baseline ${effect_baseline}; delta $((effect_current - effect_baseline))"
+if (( effect_current > effect_baseline )); then
+    echo "tidy: new unsanctioned effect route(s) from a handler:"
+    grep '"rule": "effect-' "$report" || true
+    exit 1
+fi
+# Per-function effect signatures: report-only delta against the
+# committed dump, so a silently grown signature is visible in review.
+effects_json="$(mktemp)"
+cargo run -q -p yoda-tidy -- --effects > "$effects_json"
+if [[ -f results/tidy_effects.json ]]; then
+    if cmp -s "$effects_json" results/tidy_effects.json; then
+        echo "tidy: effect signatures identical to results/tidy_effects.json"
+    else
+        echo "tidy: effect signatures drifted from results/tidy_effects.json — review and regenerate:"
+        diff results/tidy_effects.json "$effects_json" | head -20 || true
+        echo "      cargo run -q -p yoda-tidy -- --effects > results/tidy_effects.json"
+        rm -f "$effects_json"
+        exit 1
+    fi
+else
+    echo "tidy: no committed results/tidy_effects.json — skipping signature delta"
+fi
+rm -f "$effects_json"
 if (( delta > 0 )); then
     echo "tidy: ${delta} new violation(s) vs results/tidy_baseline.json:"
     grep '"rule"' "$report" || true
@@ -70,7 +102,7 @@ bench_json="$(mktemp)"
 trap 'rm -f "$report" "$bench_json"' EXIT
 ./target/release/bench_engine --smoke > "$bench_json"
 if [[ -f BENCH_engine.json ]]; then
-    for name in pingpong_mesh timer_churn trace_ring; do
+    for name in pingpong_mesh timer_churn trace_ring full_testbed; do
         # Last single-threaded match is the "current" block; the sharded
         # sweep rows carry a "threads" field and are excluded here.
         committed=$(grep "\"name\": \"$name\"" BENCH_engine.json | grep -v '"threads"' | tail -1 \

@@ -10,7 +10,10 @@
 //! A failing seed prints its full plan; rerun just that seed with e.g.
 //! `CHAOS_SEED=13 cargo test --release --test chaos_matrix one_seed`.
 //! Seed counts scale up via `CHAOS_SURVIVABLE_SEEDS` /
-//! `CHAOS_UNCONSTRAINED_SEEDS` for longer local or CI soak runs.
+//! `CHAOS_UNCONSTRAINED_SEEDS` for longer local or CI soak runs, and
+//! `CHAOS_THREADS=N` runs every replay under the sharded executor at
+//! `N` workers — per-node RNG streams make the digests identical to the
+//! single-threaded run, so CI exercises both executors with one matrix.
 
 use yoda::chaos::{run_seed, ChaosScenario};
 
@@ -19,6 +22,11 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// Worker-count override for the whole matrix (0 = single-threaded).
+fn threads() -> usize {
+    env_u64("CHAOS_THREADS", 0) as usize
 }
 
 fn assert_seed_ok(seed: u64, sc: &ChaosScenario) {
@@ -34,7 +42,8 @@ fn assert_seed_ok(seed: u64, sc: &ChaosScenario) {
 #[test]
 fn survivable_seeds_keep_every_flow_alive() {
     let n = env_u64("CHAOS_SURVIVABLE_SEEDS", 20);
-    let sc = ChaosScenario::survivable();
+    let mut sc = ChaosScenario::survivable();
+    sc.threads = threads();
     for seed in 0..n {
         assert_seed_ok(seed, &sc);
     }
@@ -43,7 +52,8 @@ fn survivable_seeds_keep_every_flow_alive() {
 #[test]
 fn unconstrained_seeds_degrade_gracefully() {
     let n = env_u64("CHAOS_UNCONSTRAINED_SEEDS", 5);
-    let sc = ChaosScenario::unconstrained();
+    let mut sc = ChaosScenario::unconstrained();
+    sc.threads = threads();
     // Disjoint seed range from the survivable matrix, so the two tests
     // never mistake one another's plans.
     for seed in 1000..1000 + n {
@@ -61,11 +71,12 @@ fn one_seed() {
     let Ok(seed) = seed.parse::<u64>() else {
         panic!("CHAOS_SEED must be an integer");
     };
-    let sc = if std::env::var("CHAOS_UNCONSTRAINED").is_ok() {
+    let mut sc = if std::env::var("CHAOS_UNCONSTRAINED").is_ok() {
         ChaosScenario::unconstrained()
     } else {
         ChaosScenario::survivable()
     };
+    sc.threads = threads();
     let report = run_seed(seed, &sc);
     println!("{}", report.render());
     assert!(report.ok(), "seed {seed} failed\n{}", report.render());

@@ -20,7 +20,7 @@ use yoda::l4lb::{EdgeRouter, Mux};
 use yoda::netsim::addrmap::AddrMap;
 use yoda::netsim::shard::{EpochBarrier, ShardMailbox, ShardWorker};
 use yoda::netsim::wheel::TimerWheel;
-use yoda::netsim::{Engine, NameId, Node, ShardError, SymbolTable, TraceEvent, TraceSink};
+use yoda::netsim::{Engine, NameId, Node, SymbolTable, TraceEvent, TraceSink};
 use yoda::proxy::ProxyInstance;
 use yoda::tcpstore::StoreServer;
 
@@ -60,20 +60,17 @@ fn boxed_nodes_are_send() {
 }
 
 /// The sharded executor's own moving parts. A `ShardWorker` (nodes,
-/// timer wheels, effect log) is handed to a spawned scope thread, so it
-/// must be `Send`; the mailbox additionally crosses back to the
-/// coordinator for replay. The `EpochBarrier` is *shared* by reference
-/// between the coordinator and every worker simultaneously, so it needs
-/// the stronger `Sync`. The error type travels across the scope
-/// boundary inside a `Result`.
+/// timer wheels, per-node RNG streams, effect log) is handed to a
+/// spawned scope thread, so it must be `Send`; the mailbox additionally
+/// crosses back to the coordinator for replay. The `EpochBarrier` is
+/// *shared* by reference between the coordinator and every worker
+/// simultaneously, so it needs the stronger `Sync`.
 #[test]
 fn shard_executor_types_are_send_and_sync() {
     assert_send::<ShardWorker>();
     assert_send::<ShardMailbox>();
     assert_sync::<EpochBarrier>();
     assert_send::<EpochBarrier>();
-    assert_send::<ShardError>();
-    assert_sync::<ShardError>();
 }
 
 /// Every product node type: the paper's data plane (edge router, mux,

@@ -7,17 +7,28 @@
 //! in a different order under sharding, the digest diverges and these
 //! tests fail.
 //!
-//! Two scenarios run at 1, 2, and 4 workers against a single-threaded
-//! reference:
+//! Four scenarios run at 1, 2, and 4 workers (8 in the sweep tests)
+//! against a single-threaded reference:
 //!
 //! * **pingpong mesh** — latency-only links, packet storms, periodic
 //!   timers with same-tick collisions, and timers cancelled both inside
 //!   their arming window (mini-wheel path) and across windows (handle
 //!   relocation path).
-//! * **chaos** — jittery, lossy, duplicating links (link RNG is drawn at
-//!   replay, in canonical order) plus scheduled crash / generation-
-//!   bumping restore / partition / heal controls interleaved with the
-//!   parallel windows.
+//! * **chaos mesh** — jittery, lossy, duplicating links (link RNG is
+//!   drawn at replay, in canonical order) plus scheduled crash /
+//!   generation-bumping restore / partition / heal controls interleaved
+//!   with the parallel windows.
+//! * **prequal testbed** — the full browser/TCP/Yoda stack with the
+//!   probe-driven prequal policy: every handler layer draws per-node RNG
+//!   (`Ctx::node_rng`) for think times, ISNs, and power-of-d picks.
+//! * **chaos testbed** — a seeded `ChaosPlan` against that same stack,
+//!   so fault scheduling, witness traffic, and re-shardings all overlap
+//!   with handler randomness.
+//!
+//! The `rng_streams` module additionally pins the per-node stream
+//! semantics directly: draw sequences are identical at every worker
+//! count, survive node migration across re-shardings, and the
+//! engine-global `Ctx::rng` stays unavailable (panics) in shard mode.
 //!
 //! The `scenarios_identical_at_N_workers` tests give the CI matrix a
 //! per-worker-count filter (`cargo test -- at_2_workers`), so the
@@ -25,8 +36,8 @@
 //! multi-core runners at each count separately.
 
 use yoda::netsim::{
-    Addr, Ctx, Endpoint, Engine, Node, Packet, ShardError, SimTime, TimerId, TimerToken,
-    Topology, Zone, PROTO_PING,
+    Addr, Ctx, Endpoint, Engine, Node, Packet, SimTime, TimerId, TimerToken, Topology, Zone,
+    PROTO_PING,
 };
 
 /// Everything that must match between a sharded and a single-threaded
@@ -45,8 +56,9 @@ struct Fingerprint {
 
 /// Mesh node: floods pings around a ring, re-arms periodic timers
 /// (including two on the same tick), and cancels timers through both
-/// cancellation paths. Deliberately RNG-free: handler randomness is
-/// forbidden under sharding (see `handler_rng_poisons_the_run`).
+/// cancellation paths. Deliberately RNG-free so it isolates the
+/// structural replay machinery; the `rng_streams` module and the
+/// testbed scenarios cover handler randomness.
 struct Mesher {
     index: u32,
     ring: u32,
@@ -178,8 +190,7 @@ fn run_mesh(topology: Topology, threads: usize, chaos: bool) -> Fingerprint {
     if threads == 0 {
         eng.run_until(deadline);
     } else {
-        eng.run_until_sharded(deadline, threads)
-            .expect("mesh handlers never draw handler RNG");
+        eng.run_until_sharded(deadline, threads);
     }
     let node_state = ids
         .iter()
@@ -246,7 +257,7 @@ fn chaos_scenario_identical_at_1_2_4_workers() {
     }
 }
 
-/// Both scenarios at one worker count — the unit the CI matrix selects
+/// Every scenario at one worker count — the unit the CI matrix selects
 /// by name so each count gets its own leg (and its own interleavings)
 /// on a multi-core runner.
 fn assert_identical_at(workers: usize) {
@@ -259,6 +270,16 @@ fn assert_identical_at(workers: usize) {
         run_mesh(chaos_links(), workers, true),
         run_mesh(chaos_links(), 0, true),
         "chaos scenario diverged at {workers} workers"
+    );
+    assert_eq!(
+        testbed::prequal_fingerprint(workers),
+        testbed::prequal_fingerprint(0),
+        "prequal testbed diverged at {workers} workers"
+    );
+    assert_eq!(
+        testbed::chaos_fingerprint(workers),
+        testbed::chaos_fingerprint(0),
+        "chaos testbed diverged at {workers} workers"
     );
 }
 
@@ -296,8 +317,7 @@ fn sharded_segment_composes_with_single_threaded_segments() {
         ));
     }
     eng.run_until(SimTime::from_millis(40));
-    eng.run_until_sharded(SimTime::from_millis(220), 3)
-        .expect("no handler RNG");
+    eng.run_until_sharded(SimTime::from_millis(220), 3);
     eng.run_until(SimTime::from_millis(300));
     assert_eq!(eng.event_digest(), reference.digest);
     assert_eq!(eng.now().as_micros(), reference.now_us);
@@ -315,13 +335,123 @@ fn zero_lookahead_falls_back_to_single_threaded() {
     assert_eq!(sharded, reference);
 }
 
-mod handler_rng {
+/// Per-node RNG stream semantics, pinned directly: a node's draw
+/// sequence is a pure function of (engine seed, NodeId, that node's own
+/// handler order) — never of the worker count or shard interleaving.
+mod rng_streams {
     use super::*;
 
-    /// A node that (incorrectly) draws engine RNG from a timer handler.
-    struct RngUser;
+    /// Draws per-node randomness from both timer and packet handlers and
+    /// records every value, so node end-state comparison covers the full
+    /// draw sequence, not just its length.
+    struct Roller {
+        peer: Endpoint,
+        me: Endpoint,
+        draws: Vec<u64>,
+        fires: u64,
+    }
 
-    impl Node for RngUser {
+    impl Node for Roller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimTime::from_millis(3), TimerToken::new(1));
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: Packet) {
+            self.draws.push(ctx.node_rng().gen_range(0..1_000_000));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+            self.fires += 1;
+            // Variable draw count per event: stream offsets shift with
+            // local history, so any cross-node mixup changes values.
+            for _ in 0..1 + (self.fires % 3) {
+                self.draws.push(ctx.node_rng().next_u64());
+            }
+            ctx.send(Packet::new(self.me, self.peer, PROTO_PING, bytes::Bytes::new()));
+            if self.fires < 30 {
+                ctx.set_timer(SimTime::from_millis(3), TimerToken::new(1));
+            }
+        }
+    }
+
+    fn build(n: u32) -> (Engine, Vec<yoda::netsim::NodeId>) {
+        let mut eng = Engine::with_topology(0xF00D, Topology::uniform(SimTime::from_micros(800)));
+        let ids = (0..n)
+            .map(|i| {
+                let me = Endpoint::new(Addr::new(10, 8, 0, (i + 1) as u8), 0);
+                let peer = Endpoint::new(Addr::new(10, 8, 0, ((i + 1) % n + 1) as u8), 0);
+                eng.add_node(
+                    format!("roller-{i}"),
+                    me.addr,
+                    Zone::Dc,
+                    Box::new(Roller { peer, me, draws: Vec::new(), fires: 0 }),
+                )
+            })
+            .collect();
+        (eng, ids)
+    }
+
+    fn draw_log(threads: usize, controls: bool) -> (u64, Vec<Vec<u64>>) {
+        let (mut eng, ids) = build(6);
+        if controls {
+            // No-op controls force full migrate-in/out cycles, so node
+            // RNG state must survive repeated re-shardings.
+            for ms in [10u64, 25, 40, 55, 70] {
+                eng.schedule(SimTime::from_millis(ms), |eng| {
+                    let _ = eng.now();
+                });
+            }
+        }
+        let deadline = SimTime::from_millis(120);
+        if threads == 0 {
+            eng.run_until(deadline);
+        } else {
+            eng.run_until_sharded(deadline, threads);
+        }
+        let logs = ids
+            .iter()
+            .map(|&id| eng.node_ref::<Roller>(id).draws.clone())
+            .collect();
+        (eng.event_digest(), logs)
+    }
+
+    /// Per-node draw *values* (not just counts) match the
+    /// single-threaded reference at every worker count.
+    #[test]
+    fn node_rng_draws_identical_at_1_2_4_8_workers() {
+        let reference = draw_log(0, false);
+        assert!(
+            reference.1.iter().all(|d| d.len() > 40),
+            "scenario too small: {:?}",
+            reference.1.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                draw_log(threads, false),
+                reference,
+                "per-node draw sequences diverged at {threads} workers"
+            );
+        }
+    }
+
+    /// Streams keep their position across migrate-out/migrate-in cycles:
+    /// scheduled controls repeatedly pull every node (and its RNG) back
+    /// into the engine and out again, and the draws must continue where
+    /// they left off rather than restart or swap between nodes.
+    #[test]
+    fn migration_preserves_node_rng_streams() {
+        let reference = draw_log(0, true);
+        for threads in [2, 3, 4] {
+            assert_eq!(
+                draw_log(threads, true),
+                reference,
+                "draw sequence broke across re-shardings at {threads} workers"
+            );
+        }
+    }
+
+    /// A node that (incorrectly) reaches for the engine-global stream.
+    struct GlobalRngUser;
+
+    impl Node for GlobalRngUser {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             ctx.set_timer(SimTime::from_millis(5), TimerToken::new(1));
         }
@@ -331,35 +461,156 @@ mod handler_rng {
         }
     }
 
-    /// Handler RNG cannot be replayed in canonical order from inside a
-    /// shard, so drawing it during a parallel window must poison the run
-    /// with a diagnostic error instead of silently diverging.
+    /// The engine-global stream's draw order cannot be replayed from
+    /// inside a shard; reaching for it in a parallel window must fail
+    /// loudly (the static effect pass rejects it first — this is the
+    /// runtime backstop).
     #[test]
-    fn handler_rng_poisons_the_run() {
+    #[should_panic(expected = "engine-global stream")]
+    fn ctx_rng_panics_in_shard_mode() {
         let mut eng = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
         for i in 0..4u32 {
             eng.add_node(
                 format!("rng-user-{i}"),
-                Addr::new(10, 8, 0, (i + 1) as u8),
+                Addr::new(10, 9, 0, (i + 1) as u8),
                 Zone::Dc,
-                Box::new(RngUser),
+                Box::new(GlobalRngUser),
             );
         }
-        let err = eng
-            .run_until_sharded(SimTime::from_millis(50), 2)
-            .expect_err("drawing Ctx::rng in a parallel window must fail");
-        assert!(matches!(err, ShardError::HandlerRng { .. }), "got {err}");
-        // The same workload is fine single-threaded (the draw order is
-        // well defined there).
-        let mut st = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
+        eng.run_until_sharded(SimTime::from_millis(50), 2);
+    }
+
+    /// Single-threaded, the global stream remains available to handlers
+    /// (legacy single-threaded scenarios keep working unchanged).
+    #[test]
+    fn ctx_rng_still_works_single_threaded() {
+        let mut eng = Engine::with_topology(1, Topology::uniform(SimTime::from_millis(1)));
         for i in 0..4u32 {
-            st.add_node(
+            eng.add_node(
                 format!("rng-user-{i}"),
-                Addr::new(10, 8, 0, (i + 1) as u8),
+                Addr::new(10, 9, 0, (i + 1) as u8),
                 Zone::Dc,
-                Box::new(RngUser),
+                Box::new(GlobalRngUser),
             );
         }
-        st.run_until(SimTime::from_millis(50));
+        eng.run_until(SimTime::from_millis(50));
+    }
+}
+
+/// Full-stack scenarios: browsers, TCP, Yoda instances, TCPStore, and
+/// the prequal probe subsystem all draw per-node RNG inside handlers —
+/// exactly the workload the old `ShardError::HandlerRng` poison path
+/// used to reject.
+mod testbed {
+    use yoda::chaos::{run_seed, ChaosScenario};
+    use yoda::core::testbed::{Testbed, TestbedConfig};
+    use yoda::http::{BrowserClient, BrowserConfig};
+    use yoda::netsim::SimTime;
+
+    /// Digest plus every externally observable aggregate of a testbed
+    /// run; `PartialEq` so sweeps compare whole runs at once.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct TestbedPrint {
+        digest: u64,
+        events: u64,
+        packets: u64,
+        completed: u64,
+        broken: u64,
+        timeouts: u64,
+        pages: u64,
+    }
+
+    /// Small prequal-probing testbed: service 0 switches to the
+    /// probe-driven policy, browsers fetch continuously, and every layer
+    /// (browser think times, TCP ISNs, store core affinity, power-of-d
+    /// probe picks) draws from per-node streams.
+    pub fn prequal_fingerprint(threads: usize) -> TestbedPrint {
+        let mut tb = Testbed::build(TestbedConfig {
+            seed: 0xBEEF,
+            num_instances: 3,
+            num_spares: 0,
+            num_stores: 2,
+            num_backends: 4,
+            num_muxes: 2,
+            num_services: 2,
+            pages_per_site: 8,
+            threads,
+            ..TestbedConfig::default()
+        });
+        let vip = tb.vips[0];
+        let backends: Vec<String> = tb.service_backends[0]
+            .iter()
+            .map(|b| b.to_string())
+            .collect();
+        let rules = format!(
+            "name=pq-0 priority=1 match * action=prequal {}",
+            backends.join(" ")
+        );
+        tb.set_policy_at(vip, &rules, SimTime::from_millis(100));
+        let browsers: Vec<_> = (0..2)
+            .map(|s| tb.add_browser(s, BrowserConfig { processes: 2, ..BrowserConfig::default() }))
+            .collect();
+        tb.run_for(SimTime::from_secs(8));
+        let mut print = TestbedPrint {
+            digest: tb.engine.event_digest(),
+            events: tb.engine.events_processed(),
+            packets: tb.engine.packets_sent(),
+            completed: 0,
+            broken: 0,
+            timeouts: 0,
+            pages: 0,
+        };
+        for &b in &browsers {
+            if let Some(bc) = tb.engine.try_node_ref::<BrowserClient>(b) {
+                print.completed += bc.completed;
+                print.broken += bc.broken_flows;
+                print.timeouts += bc.timeouts;
+                print.pages += bc.pages_completed;
+            }
+        }
+        assert!(print.completed > 0, "prequal testbed must serve fetches");
+        print
+    }
+
+    /// A seeded chaos plan over the same stack: faults, WAN overrides,
+    /// and witness traffic on top of handler randomness.
+    pub fn chaos_fingerprint(threads: usize) -> TestbedPrint {
+        let mut sc = ChaosScenario::survivable();
+        sc.deadline = SimTime::from_secs(12);
+        sc.threads = threads;
+        let report = run_seed(11, &sc);
+        TestbedPrint {
+            digest: report.digest,
+            events: report.events,
+            packets: 0,
+            completed: report.completed,
+            broken: report.broken_flows,
+            timeouts: report.timeouts,
+            pages: report.pages_completed,
+        }
+    }
+
+    #[test]
+    fn prequal_testbed_identical_at_1_2_4_8_workers() {
+        let reference = prequal_fingerprint(0);
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                prequal_fingerprint(threads),
+                reference,
+                "prequal testbed diverged at {threads} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_testbed_identical_at_1_2_4_8_workers() {
+        let reference = chaos_fingerprint(0);
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                chaos_fingerprint(threads),
+                reference,
+                "chaos testbed diverged at {threads} workers"
+            );
+        }
     }
 }
