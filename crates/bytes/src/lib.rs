@@ -133,6 +133,16 @@ impl Bytes {
             None => &[],
         }
     }
+
+    /// Mutable access to the viewed bytes when this handle is the *only*
+    /// reference to the backing allocation; `None` when the buffer is
+    /// shared (or empty). Lets hot paths patch a few header bytes of a
+    /// packet they own without copying the payload — the caller falls
+    /// back to a copy when sharing makes in-place mutation unsound.
+    pub fn try_mut(&mut self) -> Option<&mut [u8]> {
+        let (start, end) = (self.start as usize, self.end as usize);
+        Arc::get_mut(self.data.as_mut()?)?.get_mut(start..end)
+    }
 }
 
 /// Copies `N` bytes starting at `at` out of `b`, or `None` if `b` is too
@@ -503,6 +513,23 @@ mod tests {
         assert_eq!(array_at::<3>(&b, 3), None);
         assert_eq!(array_at::<6>(&b, 0), None);
         assert_eq!(array_at::<1>(&b, usize::MAX), None);
+    }
+
+    #[test]
+    fn try_mut_only_when_unique() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        b.try_mut().unwrap()[0] = 9;
+        assert_eq!(b, [9, 2, 3, 4]);
+        // A live clone shares the allocation: no mutable access.
+        let c = b.clone();
+        assert!(b.try_mut().is_none());
+        drop(c);
+        // Unique again; a sub-slice patches within its own view.
+        let mut tail = b.slice(2..);
+        drop(b);
+        tail.try_mut().unwrap()[0] = 7;
+        assert_eq!(tail, [7, 4]);
+        assert!(Bytes::new().try_mut().is_none());
     }
 
     #[test]

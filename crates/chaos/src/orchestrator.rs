@@ -8,8 +8,10 @@
 
 
 use yoda_core::controller::Controller;
+use yoda_core::instance::{YodaConfig, YodaInstance};
 use yoda_core::testbed::{Testbed, TestbedConfig};
 use yoda_http::{BrowserClient, BrowserConfig};
+use yoda_l4lb::Mux;
 use yoda_netsim::{Addr, LinkSpec, NodeId, SimTime, Zone};
 
 use crate::invariants::check_invariants;
@@ -49,6 +51,10 @@ pub struct ChaosScenario {
     /// any worker count with digests identical to single-threaded —
     /// seed repro commands stay valid regardless of this knob.
     pub threads: usize,
+    /// Enable the mux fast-path flow splicing on the instances, so
+    /// steady-state forwarding (and its revocation/failover machinery)
+    /// is under fire too.
+    pub splice: bool,
 }
 
 impl ChaosScenario {
@@ -68,6 +74,7 @@ impl ChaosScenario {
             deadline: SimTime::from_secs(45),
             budget: PlanBudget::survivable(),
             threads: 0,
+            splice: false,
         }
     }
 
@@ -87,6 +94,7 @@ impl ChaosScenario {
             deadline: SimTime::from_secs(100),
             budget: PlanBudget::unconstrained(),
             threads: 0,
+            splice: false,
         }
     }
 
@@ -133,6 +141,11 @@ pub struct ChaosReport {
     pub witness_skipped: u64,
     /// Component recoveries the controller re-integrated.
     pub recoveries_detected: u64,
+    /// Packets forwarded on the mux fast path (summed across muxes).
+    pub spliced: u64,
+    /// Splice installs the instances issued (first installs + re-installs
+    /// after mux failover).
+    pub splices_installed: u64,
     /// Invariant violations (empty = the run passed).
     pub violations: Vec<String>,
 }
@@ -148,7 +161,7 @@ impl ChaosReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "seed {} ({}): completed={} broken={} timeouts={} resets={} pages={} \
-             witness(ok={} skipped={}) recoveries={} digest={:#018x}\n{}",
+             witness(ok={} skipped={}) recoveries={} spliced={}/{} digest={:#018x}\n{}",
             self.seed,
             if self.survivable {
                 "survivable"
@@ -163,6 +176,8 @@ impl ChaosReport {
             self.witness_checks,
             self.witness_skipped,
             self.recoveries_detected,
+            self.spliced,
+            self.splices_installed,
             self.digest,
             self.plan.render(),
         );
@@ -194,6 +209,10 @@ pub fn run_plan(plan: &ChaosPlan, sc: &ChaosScenario) -> ChaosReport {
         num_services: sc.services,
         pages_per_site: 12,
         threads: sc.threads,
+        yoda: YodaConfig {
+            splice: sc.splice,
+            ..YodaConfig::default()
+        },
         ..TestbedConfig::default()
     });
 
@@ -249,6 +268,8 @@ pub fn run_plan(plan: &ChaosPlan, sc: &ChaosScenario) -> ChaosReport {
         witness_checks: 0,
         witness_skipped: 0,
         recoveries_detected: 0,
+        spliced: 0,
+        splices_installed: 0,
         violations,
     };
     for &b in &browsers {
@@ -263,6 +284,16 @@ pub fn run_plan(plan: &ChaosPlan, sc: &ChaosScenario) -> ChaosReport {
     if let Some(w) = tb.engine.try_node_ref::<StoreWitness>(witness) {
         report.witness_checks = w.checks;
         report.witness_skipped = w.skipped;
+    }
+    for &m in &tb.muxes {
+        if let Some(mx) = tb.engine.try_node_ref::<Mux>(m) {
+            report.spliced += mx.spliced;
+        }
+    }
+    for &i in &tb.instances {
+        if let Some(inst) = tb.engine.try_node_ref::<YodaInstance>(i) {
+            report.splices_installed += inst.splices_installed;
+        }
     }
     if let Some(c) = tb.engine.try_node_ref::<Controller>(tb.controller) {
         report.recoveries_detected = c.recoveries_detected;

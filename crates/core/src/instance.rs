@@ -32,6 +32,8 @@ use yoda_netsim::{
 use yoda_tcp::{Flags, Segment, SeqNum};
 use yoda_tcpstore::{StoreClient, StoreClientConfig, StoreEvent, StoreOutcome, STORE_TIMER_KIND};
 
+use yoda_l4lb::CtrlMsg as MuxCtrl;
+
 use crate::ctrl::{InstanceCtrl, CTRL_PORT};
 use crate::flowstate::{FlowRecord, SynRecord};
 use crate::isn::syn_ack_isn;
@@ -51,6 +53,11 @@ const DRAIN_LINGER: SimTime = SimTime::from_secs(2);
 /// How long a recovery lookup may stay outstanding before its buffered
 /// packets are discarded.
 const RECOVERY_TTL: SimTime = SimTime::from_secs(5);
+/// Minimum gap between splice installs for one flow. A slow-path data
+/// packet on a leg the instance believes is spliced means the mux lost the
+/// entry (cold restart); the throttle keeps the re-install from repeating
+/// for every in-flight packet.
+const SPLICE_REINSTALL: SimTime = SimTime::from_millis(10);
 
 /// The fixed TLS ClientHello stand-in an SSL client sends first (§5.2).
 pub const SSL_HELLO: &[u8] = b"CLIENTHELLO\n";
@@ -111,6 +118,11 @@ pub struct YodaConfig {
     /// Probe subsystem tunables (`action=prequal` rules; probing only
     /// runs while at least one installed rule is prequal).
     pub probe: ProbeConfig,
+    /// Mux fast path: once a flow enters tunneling, install splice entries
+    /// at its muxes so steady-state packets are translated and forwarded
+    /// below the instance (XLB-style flow splicing). Flows that still need
+    /// HTTP/1.1 inspection only splice the server leg.
+    pub splice: bool,
 }
 
 impl Default for YodaConfig {
@@ -126,6 +138,7 @@ impl Default for YodaConfig {
             optimistic_synack: false,
             mss: 1460,
             probe: ProbeConfig::default(),
+            splice: false,
         }
     }
 }
@@ -163,6 +176,14 @@ struct Tunnel {
     race_request: Option<Bytes>,
     /// Client ISN, kept while a race is live (for racer handshakes/RSTs).
     race_client_isn: SeqNum,
+    /// Mux fast path: a splice entry is believed installed for the
+    /// client (client→vip) leg.
+    splice_client: bool,
+    /// Mux fast path: a splice entry is believed installed for the
+    /// server (backend→vss) leg.
+    splice_server: bool,
+    /// When splice installs were last sent (re-install throttle).
+    splice_sent_at: SimTime,
 }
 
 #[derive(Debug, Clone)]
@@ -273,6 +294,9 @@ pub struct YodaInstance {
     pub storage_latency: Histogram,
     /// HTTP/1.1 mid-connection backend switches performed.
     pub backend_switches: u64,
+    /// Splice install rounds sent to the muxes (fast-path handoffs,
+    /// including re-installs after a mux failover).
+    pub splices_installed: u64,
 }
 
 impl YodaInstance {
@@ -306,6 +330,7 @@ impl YodaInstance {
             conn_latency: Histogram::new(),
             storage_latency: Histogram::new(),
             backend_switches: 0,
+            splices_installed: 0,
         }
     }
 
@@ -403,6 +428,112 @@ impl YodaInstance {
     /// Backends live in DC address space (10.x), clients outside it.
     fn is_backendish(&self, ep: Endpoint) -> bool {
         matches!(ep.addr.octets(), [10, ..])
+    }
+
+    /// Sends a splice control message to the mux owning the `(a, b)` leg —
+    /// the same rendezvous choice the edge router makes for that leg, so
+    /// the entry lands on the mux the packets actually traverse.
+    fn send_splice(&mut self, ctx: &mut Ctx<'_>, a: Endpoint, b: Endpoint, msg: MuxCtrl) {
+        if let Some(mux) = self.mux_for(a, b) {
+            let me = Endpoint::new(self.addr, yoda_l4lb::CTRL_PORT);
+            ctx.send(msg.into_packet(me, mux));
+        }
+    }
+
+    /// Installs (or refreshes) the flow's splice entries. The server
+    /// (backend→vss) leg always splices; the client (client→vip) leg only
+    /// when HTTP/1.1 inspection is off — otherwise the instance must keep
+    /// seeing request bytes to re-run rule selection. No-op while a mirror
+    /// race or backend switch is in flight, or once teardown started.
+    fn install_splices(&mut self, ctx: &mut Ctx<'_>, key: (Endpoint, Endpoint)) {
+        if !self.cfg.splice {
+            return;
+        }
+        let (client, vip) = key;
+        let vss = Endpoint::new(vip.addr, client.port);
+        let Some(entry) = self.flows.get_mut(&key) else {
+            return;
+        };
+        let Phase::Tunneling(t) = &mut entry.phase else {
+            return;
+        };
+        if !t.racing.is_empty()
+            || t.switching.is_some()
+            || t.drain_deadline.is_some()
+            || t.client_fin
+            || t.server_fin
+        {
+            return;
+        }
+        let backend = t.backend;
+        let delta = t.delta;
+        let c2s_off = t.c2s_off;
+        let client_leg = !t.inspect_enabled;
+        t.splice_server = true;
+        t.splice_client = client_leg;
+        t.splice_sent_at = ctx.now();
+        self.splices_installed += 1;
+        self.send_splice(
+            ctx,
+            backend,
+            vss,
+            MuxCtrl::SpliceInstall {
+                from: backend,
+                to: vss,
+                new_src: vip,
+                new_dst: client,
+                seq_add: delta,
+                ack_add: c2s_off.wrapping_neg(),
+            },
+        );
+        if client_leg {
+            self.send_splice(
+                ctx,
+                client,
+                vip,
+                MuxCtrl::SpliceInstall {
+                    from: client,
+                    to: vip,
+                    new_src: vss,
+                    new_dst: backend,
+                    seq_add: c2s_off,
+                    ack_add: delta.wrapping_neg(),
+                },
+            );
+        }
+    }
+
+    /// Revokes both legs' splice entries (teardown or backend death).
+    /// Redundant removes are harmless — mux-side removal is idempotent.
+    fn remove_splices(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        client: Endpoint,
+        vip: Endpoint,
+        backend: Endpoint,
+    ) {
+        if !self.cfg.splice {
+            return;
+        }
+        let vss = Endpoint::new(vip.addr, client.port);
+        self.send_splice(
+            ctx,
+            client,
+            vip,
+            MuxCtrl::SpliceRemove {
+                from: client,
+                to: vip,
+            },
+        );
+        self.send_splice(
+            ctx,
+            backend,
+            vss,
+            MuxCtrl::SpliceRemove {
+                from: backend,
+                to: vss,
+            },
+        );
     }
 
     /// Charges CPU for one packet; returns the total processing delay, or
@@ -879,6 +1010,21 @@ impl YodaInstance {
         if seg.flags.fin {
             t.client_fin = true;
         }
+        // With the server leg spliced the instance never sees response
+        // data, so track the client's position from its acks instead (the
+        // ack field is already in Y-space). Equal to the data-based
+        // tracking when unspliced: the client never acks beyond delivery.
+        if self.cfg.splice && seg.flags.ack && t.client_next.lt(seg.ack) {
+            t.client_next = seg.ack;
+        }
+        // A data packet on a leg believed spliced means the mux lost the
+        // entry (cold restart after a failure): re-install, throttled.
+        let reinstall = t.splice_client
+            && !seg.flags.fin
+            && !seg.flags.rst
+            && !t.client_fin
+            && !t.server_fin
+            && ctx.now().saturating_sub(t.splice_sent_at) >= SPLICE_REINSTALL;
         let backend = t.backend;
         let delta = t.delta;
         let c2s_off = t.c2s_off;
@@ -900,6 +1046,9 @@ impl YodaInstance {
             self.finish_flow(ctx, key);
         }
         self.emit(ctx, delay, out, vss, backend);
+        if reinstall {
+            self.install_splices(ctx, key);
+        }
     }
 
     fn tunnel_server_packet(
@@ -948,6 +1097,14 @@ impl YodaInstance {
         if seg.flags.fin {
             t.server_fin = true;
         }
+        // Server data on a leg believed spliced: the mux lost the entry
+        // (cold restart after a failure) — re-install, throttled.
+        let reinstall = t.splice_server
+            && !seg.flags.fin
+            && !seg.flags.rst
+            && !t.client_fin
+            && !t.server_fin
+            && ctx.now().saturating_sub(t.splice_sent_at) >= SPLICE_REINSTALL;
         let delta = t.delta;
         let c2s_off = t.c2s_off;
         let mut out = seg.clone();
@@ -971,6 +1128,9 @@ impl YodaInstance {
             self.finish_flow(ctx, key);
         }
         self.emit(ctx, delay, out, vip, client);
+        if reinstall {
+            self.install_splices(ctx, key);
+        }
     }
 
     /// Deletes the flow's TCPStore records ("the flow state ... is removed
@@ -978,10 +1138,20 @@ impl YodaInstance {
     /// briefly to forward the final ACKs.
     fn finish_flow(&mut self, ctx: &mut Ctx<'_>, key: (Endpoint, Endpoint)) {
         let (client, vip) = key;
-        let backend = match self.flows.get(&key).map(|e| &e.phase) {
-            Some(Phase::Tunneling(t)) => t.backend,
+        let (backend, spliced) = match self.flows.get_mut(&key).map(|e| &mut e.phase) {
+            Some(Phase::Tunneling(t)) => {
+                let spliced = t.splice_client || t.splice_server;
+                t.splice_client = false;
+                t.splice_server = false;
+                (t.backend, spliced)
+            }
             _ => return,
         };
+        if spliced {
+            // The FIN legs already tore their own entries down at the mux;
+            // this covers the leg that never saw a FIN pass through.
+            self.remove_splices(ctx, client, vip, backend);
+        }
         let t1 = self.tag(PendingOp::Fire);
         let t2 = self.tag(PendingOp::Fire);
         let t3 = self.tag(PendingOp::Fire);
@@ -1061,11 +1231,26 @@ impl YodaInstance {
             return;
         };
         let old_backend = t.backend;
+        let had_server_splice = t.splice_server;
+        t.splice_server = false;
         t.switching = Some(Box::new(SwitchState {
             new_backend,
             request_seq: request_start,
             request: request_bytes,
         }));
+        if had_server_splice {
+            // Pull the server-leg splice back before the new backend's bytes
+            // start flowing with a stale translation constant.
+            self.send_splice(
+                ctx,
+                old_backend,
+                vss,
+                MuxCtrl::SpliceRemove {
+                    from: old_backend,
+                    to: vss,
+                },
+            );
+        }
         // RST the old backend connection (in C-space).
         let rst = Segment {
             src_port: vss.port,
@@ -1163,6 +1348,9 @@ impl YodaInstance {
             *l -= 1;
         }
         *self.select_ctx.loads.entry(new_backend).or_insert(0) += 1;
+        // Re-splice the server leg with the fresh delta (client leg stays
+        // off: inspection must keep seeing request bytes).
+        self.install_splices(ctx, key);
     }
 
     // ------------------------------------------------------------------
@@ -1306,6 +1494,7 @@ impl YodaInstance {
             let t3 = self.tag(PendingOp::Fire);
             self.store.delete(ctx, FlowRecord::rkey(old_backend, vss), t3);
         }
+        self.install_splices(ctx, key);
     }
 
     // ------------------------------------------------------------------
@@ -1458,11 +1647,18 @@ impl YodaInstance {
                     racing: Vec::new(),
                     race_request: None,
                     race_client_isn: SeqNum::new(0),
+                    splice_client: false,
+                    splice_server: false,
+                    splice_sent_at: SimTime::ZERO,
                 }),
                 created: ctx.now(),
             },
         );
         *self.select_ctx.loads.entry(record.backend).or_insert(0) += 1;
+        // The translation constants were just re-derived from the stored
+        // FlowRecord, so the recovering instance can re-splice directly
+        // (inspection is off on recovered flows: both legs qualify).
+        self.install_splices(ctx, key);
     }
 
     // ------------------------------------------------------------------
@@ -1573,6 +1769,9 @@ impl YodaInstance {
                     racing,
                     race_request: is_racing.then(|| header.clone()),
                     race_client_isn: record.client_isn,
+                    splice_client: false,
+                    splice_server: false,
+                    splice_sent_at: SimTime::ZERO,
                 });
                 let vss = record.vip_server_side();
                 let mss = self.cfg.mss;
@@ -1605,6 +1804,10 @@ impl YodaInstance {
                     };
                     self.emit(ctx, SimTime::ZERO, ack_req, vss, racer);
                 }
+                // Handshake, rule pick and storage are done: hand the
+                // steady state to the mux fast path (no-op while a mirror
+                // race is live; settled races install later).
+                self.install_splices(ctx, flow);
             }
             PendingOp::SwitchStored => {
                 // Store updated after an HTTP/1.1 backend switch; nothing
@@ -1743,6 +1946,15 @@ impl YodaInstance {
             .collect();
         for key in keys {
             let (client, vip) = key;
+            let spliced = matches!(
+                self.flows.get(&key).map(|e| &e.phase),
+                Some(Phase::Tunneling(t)) if t.splice_client || t.splice_server
+            );
+            if spliced {
+                // The client RST below is DSR and never crosses the muxes,
+                // so their splice entries must be revoked explicitly.
+                self.remove_splices(ctx, client, vip, backend);
+            }
             let rst = Segment {
                 src_port: vip.port,
                 dst_port: client.port,

@@ -36,6 +36,43 @@ pub enum CtrlMsg {
         /// The live muxes.
         muxes: Vec<Addr>,
     },
+    /// Install a directional splice fast-path entry on a mux: packets
+    /// matching `(from, to)` are rewritten to `(new_src, new_dst)` with the
+    /// Figure-4 seq/ack translation constants and forwarded directly,
+    /// bypassing the L7 instance.
+    SpliceInstall {
+        /// Matched source endpoint (exact, directional).
+        from: Endpoint,
+        /// Matched destination endpoint (exact, directional).
+        to: Endpoint,
+        /// Rewritten source endpoint.
+        new_src: Endpoint,
+        /// Rewritten destination endpoint.
+        new_dst: Endpoint,
+        /// Added to the sequence number (wrapping).
+        seq_add: u32,
+        /// Added to the acknowledgement number (wrapping), when ACK is set.
+        ack_add: u32,
+    },
+    /// Revoke a splice entry (instance needs the flow back on the slow
+    /// path — e.g. HTTP/1.1 inspection or connection teardown).
+    SpliceRemove {
+        /// Matched source endpoint of the entry to drop.
+        from: Endpoint,
+        /// Matched destination endpoint of the entry to drop.
+        to: Endpoint,
+    },
+}
+
+fn put_endpoint(buf: &mut BytesMut, ep: Endpoint) {
+    buf.put_u32(ep.addr.as_u32());
+    buf.put_u16(ep.port);
+}
+
+fn endpoint_at(b: &Bytes, off: usize) -> Option<Endpoint> {
+    let addr = Addr::from_u32(u32::from_be_bytes(bytes::array_at::<4>(b, off)?));
+    let port = u16::from_be_bytes(bytes::array_at::<2>(b, off + 4)?);
+    Some(Endpoint::new(addr, port))
 }
 
 impl CtrlMsg {
@@ -67,6 +104,27 @@ impl CtrlMsg {
                 for m in muxes {
                     buf.put_u32(m.as_u32());
                 }
+            }
+            CtrlMsg::SpliceInstall {
+                from,
+                to,
+                new_src,
+                new_dst,
+                seq_add,
+                ack_add,
+            } => {
+                buf.put_u8(4);
+                put_endpoint(&mut buf, *from);
+                put_endpoint(&mut buf, *to);
+                put_endpoint(&mut buf, *new_src);
+                put_endpoint(&mut buf, *new_dst);
+                buf.put_u32(*seq_add);
+                buf.put_u32(*ack_add);
+            }
+            CtrlMsg::SpliceRemove { from, to } => {
+                buf.put_u8(5);
+                put_endpoint(&mut buf, *from);
+                put_endpoint(&mut buf, *to);
             }
         }
         buf.freeze()
@@ -113,6 +171,28 @@ impl CtrlMsg {
                     muxes.push(Addr::from_u32(u32::from_be_bytes(word)));
                 }
                 Some(CtrlMsg::SetMuxes { muxes })
+            }
+            4 => {
+                if b.len() != 33 {
+                    return None;
+                }
+                Some(CtrlMsg::SpliceInstall {
+                    from: endpoint_at(b, 1)?,
+                    to: endpoint_at(b, 7)?,
+                    new_src: endpoint_at(b, 13)?,
+                    new_dst: endpoint_at(b, 19)?,
+                    seq_add: u32::from_be_bytes(bytes::array_at::<4>(b, 25)?),
+                    ack_add: u32::from_be_bytes(bytes::array_at::<4>(b, 29)?),
+                })
+            }
+            5 => {
+                if b.len() != 13 {
+                    return None;
+                }
+                Some(CtrlMsg::SpliceRemove {
+                    from: endpoint_at(b, 1)?,
+                    to: endpoint_at(b, 7)?,
+                })
             }
             _ => None,
         }
@@ -176,5 +256,51 @@ mod tests {
         .to_vec();
         truncated.pop();
         assert!(CtrlMsg::decode(&Bytes::from(truncated)).is_none());
+    }
+
+    fn splice_install() -> CtrlMsg {
+        CtrlMsg::SpliceInstall {
+            from: Endpoint::new(Addr::new(172, 16, 0, 1), 40_000),
+            to: Endpoint::new(Addr::new(100, 0, 0, 1), 80),
+            new_src: Endpoint::new(Addr::new(100, 0, 0, 1), 40_000),
+            new_dst: Endpoint::new(Addr::new(10, 1, 0, 3), 80),
+            seq_add: 0u32.wrapping_sub(12),
+            ack_add: 0xdead_beef,
+        }
+    }
+
+    #[test]
+    fn splice_install_roundtrip() {
+        let msg = splice_install();
+        assert_eq!(CtrlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn splice_remove_roundtrip() {
+        let msg = CtrlMsg::SpliceRemove {
+            from: Endpoint::new(Addr::new(10, 1, 0, 3), 80),
+            to: Endpoint::new(Addr::new(100, 0, 0, 1), 40_000),
+        };
+        assert_eq!(CtrlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn splice_malformed_rejected() {
+        // Truncated and overlong payloads of both variants decode to None.
+        for msg in [
+            splice_install(),
+            CtrlMsg::SpliceRemove {
+                from: Endpoint::new(Addr::new(1, 2, 3, 4), 5),
+                to: Endpoint::new(Addr::new(6, 7, 8, 9), 10),
+            },
+        ] {
+            let enc = msg.encode();
+            for cut in 1..enc.len() {
+                assert!(CtrlMsg::decode(&enc.slice(0..cut)).is_none(), "cut={cut}");
+            }
+            let mut long = enc.to_vec();
+            long.push(0);
+            assert!(CtrlMsg::decode(&Bytes::from(long)).is_none());
+        }
     }
 }

@@ -13,9 +13,10 @@
 //! instance. This is how Yoda instances "use the VIP in interacting with
 //! both the client and the server" (front-and-back indirection, §3).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use yoda_netsim::{Addr, Ctx, Endpoint, Node, Packet, TimerToken, PROTO_CTRL, PROTO_IPIP};
+use yoda_netsim::{Addr, Ctx, Endpoint, Node, Packet, SimTime, TimerToken, PROTO_CTRL, PROTO_IPIP};
+use yoda_tcp::{Flags, Segment, SEGMENT_HEADER_LEN};
 
 use crate::ctrl::CtrlMsg;
 use crate::{canonical_flow, rendezvous_pick};
@@ -23,19 +24,113 @@ use crate::{canonical_flow, rendezvous_pick};
 /// Canonical connection key used by the flow table.
 pub type FlowKey = (Endpoint, Endpoint);
 
+/// Minimum spacing between flow/splice table sweeps. Sweeps run
+/// opportunistically on packet arrival (never via a timer — see
+/// `Mux::on_packet`), so an idle mux holds its tables until traffic
+/// returns.
+const MUX_SWEEP_PERIOD: SimTime = SimTime::from_secs(30);
+
+/// How long a flow entry lingers after FIN/RST before the sweep drops it
+/// (covers retransmitted teardown segments).
+const FLOW_DRAIN_LINGER: SimTime = SimTime::from_secs(10);
+
+/// Entries (flow or splice) idle longer than this are dropped by the sweep.
+const FLOW_IDLE_TIMEOUT: SimTime = SimTime::from_secs(600);
+
 #[derive(Debug, Clone)]
 struct VipEntry {
     instances: Vec<Addr>,
     version: u64,
 }
 
+/// A learned flow-table entry: the owning instance plus the liveness
+/// bookkeeping the sweep needs to evict it again.
+#[derive(Debug, Clone, Copy)]
+struct FlowEntry {
+    inst: Addr,
+    last_seen: SimTime,
+    /// Set once FIN/RST is observed; the sweep evicts past this deadline.
+    drain_at: Option<SimTime>,
+}
+
+/// A directional splice fast-path entry (installed by an instance via
+/// [`CtrlMsg::SpliceInstall`]): matched packets are rewritten and forwarded
+/// without touching the instance.
+#[derive(Debug, Clone, Copy)]
+struct SpliceEntry {
+    new_src: Endpoint,
+    new_dst: Endpoint,
+    seq_add: u32,
+    ack_add: u32,
+    last_seen: SimTime,
+}
+
+/// Cheap structural check before the in-place rewrite: the payload must
+/// hold exactly one segment (header plus its declared payload length) —
+/// the same framing invariant [`Segment::decode`] enforces. Malformed
+/// packets skip the fast path and take the slow path unchanged.
+fn splice_wellformed(pkt: &Packet) -> bool {
+    match bytes::array_at::<4>(&pkt.payload, 17) {
+        Some(len) => pkt.payload.len() == SEGMENT_HEADER_LEN + u32::from_be_bytes(len) as usize,
+        None => false,
+    }
+}
+
+/// Writes `v` over the bytes at `at`; no-op if out of bounds (callers
+/// have already validated the frame, so the guard never fires in
+/// practice — it just keeps the hot path free of panicking slices).
+fn put_be(h: &mut [u8], at: usize, v: &[u8]) {
+    if let Some(dst) = h.get_mut(at..at + v.len()) {
+        dst.copy_from_slice(v);
+    }
+}
+
+/// Adds `add` (mod 2³²) to the big-endian `u32` at `at`, in place.
+fn add_be32(h: &mut [u8], at: usize, add: u32) {
+    if let Some(cur) = bytes::array_at::<4>(h, at) {
+        put_be(h, at, &u32::from_be_bytes(cur).wrapping_add(add).to_be_bytes());
+    }
+}
+
+/// Applies a splice entry to a well-formed TCP packet by patching the
+/// segment header fields in place — ports, seq, and (when the ACK flag is
+/// set) ack — without touching the payload bytes. When the buffer is
+/// uniquely owned (the common case: packets in flight are moved, not
+/// shared) this copies nothing; a shared buffer takes one defensive copy.
+fn splice_rewrite(pkt: &mut Packet, e: &SpliceEntry, has_ack: bool) {
+    fn patch(h: &mut [u8], e: &SpliceEntry, has_ack: bool) {
+        put_be(h, 0, &e.new_src.port.to_be_bytes());
+        put_be(h, 2, &e.new_dst.port.to_be_bytes());
+        add_be32(h, 4, e.seq_add);
+        if has_ack {
+            add_be32(h, 8, e.ack_add);
+        }
+    }
+    match pkt.payload.try_mut() {
+        Some(buf) => patch(buf, e, has_ack),
+        None => {
+            let mut v = pkt.payload.to_vec();
+            patch(&mut v, e, has_ack);
+            pkt.payload = bytes::Bytes::from(v);
+        }
+    }
+    pkt.src = e.new_src;
+    pkt.dst = e.new_dst;
+}
+
 /// One L4 mux node.
 pub struct Mux {
     addr: Addr,
     vips: BTreeMap<Addr, VipEntry>,
-    flows: BTreeMap<FlowKey, Addr>,
+    flows: BTreeMap<FlowKey, FlowEntry>,
+    /// Exact directional (src, dst) → rewrite rules for the fast path.
+    splices: BTreeMap<(Endpoint, Endpoint), SpliceEntry>,
+    /// When the flow/splice tables were last swept.
+    last_sweep: SimTime,
     /// Packets forwarded toward instances.
     pub forwarded: u64,
+    /// Packets forwarded on the splice fast path, below the instance.
+    pub spliced: u64,
     /// Flows whose instance disappeared and were re-steered.
     pub resteered: u64,
     /// Packets dropped for lack of any live instance.
@@ -51,7 +146,10 @@ impl Mux {
             addr,
             vips: BTreeMap::new(),
             flows: BTreeMap::new(),
+            splices: BTreeMap::new(),
+            last_sweep: SimTime::ZERO,
             forwarded: 0,
+            spliced: 0,
             resteered: 0,
             dropped: 0,
             updates_applied: 0,
@@ -79,6 +177,11 @@ impl Mux {
         self.flows.len()
     }
 
+    /// Number of installed splice fast-path entries.
+    pub fn splice_entries(&self) -> usize {
+        self.splices.len()
+    }
+
     /// Which VIP this packet belongs to (dst for client→VIP, src for
     /// server→VIP replies on SNAT'd connections... the VIP side of either).
     fn vip_of(pkt: &Packet) -> Option<Addr> {
@@ -92,6 +195,23 @@ impl Mux {
     }
 
     fn steer(&mut self, ctx: &mut Ctx<'_>, inner: Packet) {
+        let now = ctx.now();
+        let flags = Segment::peek_flags(&inner);
+        // Splice fast path: an exact directional match rewrites and
+        // forwards below the instance. FIN/RST tears the entry down and
+        // falls through to the slow path so the instance sees teardown.
+        if let Some(e) = self.splices.get_mut(&(inner.src, inner.dst)) {
+            if flags.is_some_and(|f| !f.fin && !f.rst) && splice_wellformed(&inner) {
+                e.last_seen = now;
+                let entry = *e;
+                self.spliced += 1;
+                let mut pkt = inner;
+                splice_rewrite(&mut pkt, &entry, flags.is_some_and(|f| f.ack));
+                ctx.send(pkt);
+                return;
+            }
+            self.splices.remove(&(inner.src, inner.dst));
+        }
         let Some(vip) = Mux::vip_of(&inner) else {
             self.dropped += 1;
             return;
@@ -103,7 +223,7 @@ impl Mux {
             .map(|e| e.instances.as_slice())
             .unwrap_or(&[]);
         let chosen = match self.flows.get(&key) {
-            Some(&inst) if live.contains(&inst) => Some(inst),
+            Some(e) if live.contains(&e.inst) => Some(e.inst),
             Some(_) => {
                 // Instance failed or VIP re-assigned: pick a survivor. The
                 // new instance recovers the flow from TCPStore.
@@ -116,7 +236,7 @@ impl Mux {
             self.dropped += 1;
             return;
         };
-        self.flows.insert(key, inst);
+        self.touch_flow(key, inst, now, flags);
         self.forwarded += 1;
         ctx.send(inner.encapsulate(self.addr, inst));
     }
@@ -125,23 +245,84 @@ impl Mux {
     /// reverse mapping and forward the inner packet onward natively.
     fn snat_out(&mut self, ctx: &mut Ctx<'_>, inner: Packet, from_instance: Addr) {
         let key = canonical_flow(inner.src, inner.dst);
-        self.flows.insert(key, from_instance);
+        self.touch_flow(key, from_instance, ctx.now(), Segment::peek_flags(&inner));
         self.forwarded += 1;
         ctx.send(inner);
+    }
+
+    /// Refreshes a flow entry and tracks connection teardown: FIN/RST arms
+    /// the drain deadline, a fresh SYN on a reused 4-tuple clears it.
+    fn touch_flow(&mut self, key: FlowKey, inst: Addr, now: SimTime, flags: Option<Flags>) {
+        let e = self.flows.entry(key).or_insert(FlowEntry {
+            inst,
+            last_seen: now,
+            drain_at: None,
+        });
+        e.inst = inst;
+        e.last_seen = now;
+        match flags {
+            Some(f) if f.fin || f.rst => e.drain_at = Some(now + FLOW_DRAIN_LINGER),
+            Some(f) if f.syn => e.drain_at = None,
+            _ => {}
+        }
+    }
+
+    /// Drops drained and idle flow entries, plus their splice entries and
+    /// any splice that idled out on its own.
+    fn sweep(&mut self, now: SimTime) {
+        // Flows whose only recent traffic rode the fast path must survive:
+        // splice hits refresh the splice entry, not the flow entry.
+        let mut active: BTreeSet<FlowKey> = BTreeSet::new();
+        for (&(from, to), e) in &self.splices {
+            if now.saturating_sub(e.last_seen) < FLOW_IDLE_TIMEOUT {
+                active.insert(canonical_flow(from, to));
+            }
+        }
+        let mut dead: BTreeSet<FlowKey> = BTreeSet::new();
+        self.flows.retain(|key, e| {
+            let drained = e.drain_at.is_some_and(|d| now >= d);
+            let idle = !active.contains(key)
+                && now.saturating_sub(e.last_seen) >= FLOW_IDLE_TIMEOUT;
+            if drained || idle {
+                dead.insert(*key);
+                return false;
+            }
+            true
+        });
+        self.splices.retain(|&(from, to), e| {
+            !dead.contains(&canonical_flow(from, to))
+                && now.saturating_sub(e.last_seen) < FLOW_IDLE_TIMEOUT
+        });
     }
 }
 
 impl Node for Mux {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        // Opportunistic table sweep, amortised over packet arrivals
+        // rather than a timer: arming a timer would consume a slot from
+        // the engine's global timer-id/sequence counters and shift the
+        // committed event digests of every pre-splice scenario. A mux
+        // that hears no packets sweeps nothing, which is fine — its
+        // tables only grow when packets arrive.
+        let now = ctx.now();
+        if now.saturating_sub(self.last_sweep) >= MUX_SWEEP_PERIOD {
+            self.last_sweep = now;
+            self.sweep(now);
+        }
         match pkt.protocol {
             PROTO_IPIP => {
+                let outer_src = pkt.src.addr;
                 let Some(inner) = pkt.decapsulate() else {
                     self.dropped += 1;
                     return;
                 };
+                // The inner payload is a view into the outer buffer; drop
+                // the outer packet so the splice fast path can patch the
+                // bytes in place instead of copying.
+                drop(pkt);
                 if inner.src.addr.is_vip() && !inner.dst.addr.is_vip() {
                     // Outbound SNAT traffic tunneled from an instance.
-                    self.snat_out(ctx, inner, pkt.src.addr);
+                    self.snat_out(ctx, inner, outer_src);
                 } else {
                     // VIP-bound traffic relayed by the edge router.
                     self.steer(ctx, inner);
@@ -162,6 +343,28 @@ impl Node for Mux {
                             }
                         }
                         CtrlMsg::SetMuxes { .. } => {}
+                        CtrlMsg::SpliceInstall {
+                            from,
+                            to,
+                            new_src,
+                            new_dst,
+                            seq_add,
+                            ack_add,
+                        } => {
+                            self.splices.insert(
+                                (from, to),
+                                SpliceEntry {
+                                    new_src,
+                                    new_dst,
+                                    seq_add,
+                                    ack_add,
+                                    last_seen: ctx.now(),
+                                },
+                            );
+                        }
+                        CtrlMsg::SpliceRemove { from, to } => {
+                            self.splices.remove(&(from, to));
+                        }
                     }
                 }
             }
@@ -184,6 +387,7 @@ mod tests {
     use super::*;
     use bytes::Bytes;
     use yoda_netsim::{Engine, SimTime, Topology, Zone, PROTO_TCP};
+    use yoda_tcp::SeqNum;
 
     /// Sink node that records everything it receives.
     struct Sink {
@@ -230,6 +434,32 @@ mod tests {
         }
     }
 
+    /// Delivers one ping to the mux: the sweep runs opportunistically on
+    /// packet arrival, so an idle-timeout test must prod it with traffic.
+    fn prod_sweep(t: &mut Ctx2) {
+        struct Prod {
+            mux: Addr,
+        }
+        impl Node for Prod {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let me = Endpoint::new(Addr::new(10, 0, 9, 9), 0);
+                let to = Endpoint::new(self.mux, 0);
+                ctx.send(Packet::new(me, to, yoda_netsim::PROTO_PING, Bytes::new()));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+        }
+        t.eng.add_node(
+            "prod",
+            Addr::new(10, 0, 9, 9),
+            Zone::Dc,
+            Box::new(Prod {
+                mux: Addr::new(10, 0, 2, 1),
+            }),
+        );
+        t.eng.run_for(SimTime::from_millis(5));
+    }
+
     #[test]
     fn flow_affinity_and_failover() {
         let mut t = setup();
@@ -242,7 +472,14 @@ mod tests {
         let first = rendezvous_pick(p.src, p.dst, &live).unwrap();
         // Install then re-check affinity through the public steer path by
         // simulating its decision logic.
-        mux.flows.insert(key, first);
+        mux.flows.insert(
+            key,
+            FlowEntry {
+                inst: first,
+                last_seen: SimTime::ZERO,
+                drain_at: None,
+            },
+        );
         assert!(mux.vip_map(vip).unwrap().contains(&first));
         // Remove the chosen instance: the mux must re-steer to survivor.
         let survivor: Vec<Addr> = live.iter().copied().filter(|&a| a != first).collect();
@@ -303,6 +540,12 @@ mod tests {
         let inner = sample.decapsulate().unwrap();
         assert_eq!(inner.dst.addr, Addr::new(100, 0, 0, 1));
         assert_eq!(t.eng.node_ref::<Mux>(t.mux).forwarded, 100);
+        // The table learned one entry per flow — and the idle sweep returns
+        // it to baseline once the flows go quiet past the idle timeout.
+        assert_eq!(t.eng.node_ref::<Mux>(t.mux).flow_entries(), 100);
+        t.eng.run_for(FLOW_IDLE_TIMEOUT + MUX_SWEEP_PERIOD);
+        prod_sweep(&mut t);
+        assert_eq!(t.eng.node_ref::<Mux>(t.mux).flow_entries(), 0);
     }
 
     #[test]
@@ -334,6 +577,128 @@ mod tests {
         );
         t.eng.run_for(SimTime::from_millis(5));
         assert_eq!(t.eng.node_ref::<Mux>(t.mux).dropped, 1);
+    }
+
+    #[test]
+    fn splice_fast_path_rewrites_and_tears_down() {
+        let mut t = setup();
+        let mux_addr = Addr::new(10, 0, 2, 1);
+        let backend_addr = Addr::new(10, 1, 0, 9);
+        let backend = t.eng.add_node(
+            "backend",
+            backend_addr,
+            Zone::Dc,
+            Box::new(Sink { received: vec![] }),
+        );
+        struct Driver {
+            mux: Addr,
+        }
+        impl Node for Driver {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let client = Endpoint::new(Addr::new(172, 16, 0, 1), 40_000);
+                let vip = Endpoint::new(Addr::new(100, 0, 0, 1), 80);
+                let vss = Endpoint::new(Addr::new(100, 0, 0, 1), 40_000);
+                let backend = Endpoint::new(Addr::new(10, 1, 0, 9), 80);
+                let me = Endpoint::new(Addr::new(10, 0, 7, 1), 179);
+                ctx.send(
+                    CtrlMsg::SpliceInstall {
+                        from: client,
+                        to: vip,
+                        new_src: vss,
+                        new_dst: backend,
+                        seq_add: 100,
+                        ack_add: 0u32.wrapping_sub(50),
+                    }
+                    .into_packet(me, self.mux),
+                );
+                // A second entry, removed again before any traffic hits it.
+                let other = Endpoint::new(Addr::new(172, 16, 0, 2), 41_000);
+                ctx.send(
+                    CtrlMsg::SpliceInstall {
+                        from: other,
+                        to: vip,
+                        new_src: vss,
+                        new_dst: backend,
+                        seq_add: 0,
+                        ack_add: 0,
+                    }
+                    .into_packet(me, self.mux),
+                );
+                ctx.send_after(
+                    SimTime::from_micros(500),
+                    CtrlMsg::SpliceRemove {
+                        from: other,
+                        to: vip,
+                    }
+                    .into_packet(me, self.mux),
+                );
+                let data = Segment {
+                    src_port: client.port,
+                    dst_port: vip.port,
+                    seq: SeqNum::new(1_000),
+                    ack: SeqNum::new(5_050),
+                    flags: Flags::ACK,
+                    window: 65_535,
+                    payload: Bytes::from_static(b"steady-state body"),
+                }
+                .into_packet(client, vip);
+                ctx.send_after(
+                    SimTime::from_millis(1),
+                    data.encapsulate(client.addr, self.mux),
+                );
+                let fin = Segment {
+                    src_port: client.port,
+                    dst_port: vip.port,
+                    seq: SeqNum::new(1_017),
+                    ack: SeqNum::new(5_050),
+                    flags: Flags::FIN_ACK,
+                    window: 65_535,
+                    payload: Bytes::new(),
+                }
+                .into_packet(client, vip);
+                ctx.send_after(
+                    SimTime::from_millis(2),
+                    fin.encapsulate(client.addr, self.mux),
+                );
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+        }
+        t.eng.add_node(
+            "driver",
+            Addr::new(10, 0, 7, 1),
+            Zone::Dc,
+            Box::new(Driver { mux: mux_addr }),
+        );
+        t.eng.run_for(SimTime::from_millis(10));
+        // The data segment rode the fast path: rewritten natively to the
+        // backend with translated seq/ack and byte-identical payload.
+        {
+            let got = &t.eng.node_ref::<Sink>(backend).received;
+            assert_eq!(got.len(), 1, "one spliced packet at the backend");
+            assert_eq!(got[0].protocol, PROTO_TCP);
+            assert_eq!(got[0].src, Endpoint::new(Addr::new(100, 0, 0, 1), 40_000));
+            assert_eq!(got[0].dst, Endpoint::new(backend_addr, 80));
+            let seg = Segment::from_packet(&got[0]).unwrap();
+            assert_eq!(seg.seq, SeqNum::new(1_100));
+            assert_eq!(seg.ack, SeqNum::new(5_000));
+            assert_eq!(&seg.payload[..], b"steady-state body");
+        }
+        // The FIN tore the splice down and went to an instance via the
+        // slow path.
+        let mux = t.eng.node_ref::<Mux>(t.mux);
+        assert_eq!(mux.spliced, 1);
+        assert_eq!(mux.splice_entries(), 0);
+        assert_eq!(mux.forwarded, 1);
+        let slow = t.eng.node_ref::<Sink>(t.inst1).received.len()
+            + t.eng.node_ref::<Sink>(t.inst2).received.len();
+        assert_eq!(slow, 1, "FIN reached an instance");
+        // The FIN armed the drain deadline; the sweep returns the flow
+        // table to baseline.
+        assert_eq!(t.eng.node_ref::<Mux>(t.mux).flow_entries(), 1);
+        t.eng.run_for(MUX_SWEEP_PERIOD);
+        prod_sweep(&mut t);
+        assert_eq!(t.eng.node_ref::<Mux>(t.mux).flow_entries(), 0);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod seq;
 pub mod socket;
 pub mod stack;
 
-pub use segment::{Flags, Segment};
+pub use segment::{Flags, Segment, SEGMENT_HEADER_LEN};
 pub use seq::SeqNum;
 pub use socket::{SocketState, TcpConfig, TcpSocket};
 pub use stack::{ConnId, TcpEvent, TcpStack, TCP_TIMER_KIND};

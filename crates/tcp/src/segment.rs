@@ -214,6 +214,16 @@ impl Segment {
         Segment::decode(pkt.payload.clone())
     }
 
+    /// Reads just the flag byte of a TCP packet without decoding the whole
+    /// segment (the mux fast path classifies FIN/RST this way); `None` for
+    /// other protocols or payloads too short to hold a header.
+    pub fn peek_flags(pkt: &Packet) -> Option<Flags> {
+        if pkt.protocol != PROTO_TCP || pkt.payload.len() < SEGMENT_HEADER_LEN {
+            return None;
+        }
+        Some(Flags::from_byte(*pkt.payload.get(12)?))
+    }
+
     /// Short human-readable summary for traces, tcpdump-style.
     pub fn summary(&self) -> String {
         format!(
@@ -289,6 +299,18 @@ mod tests {
         let src = Endpoint::new(Addr::new(1, 1, 1, 1), 0);
         let pkt = Packet::new(src, src, yoda_netsim::PROTO_PING, Bytes::new());
         assert!(Segment::from_packet(&pkt).is_none());
+    }
+
+    #[test]
+    fn peek_flags_matches_decode() {
+        let src = Endpoint::new(Addr::new(1, 1, 1, 1), 1234);
+        let dst = Endpoint::new(Addr::new(2, 2, 2, 2), 80);
+        let pkt = seg(Flags::FIN_ACK, b"tail").into_packet(src, dst);
+        assert_eq!(Segment::peek_flags(&pkt).unwrap(), Flags::FIN_ACK);
+        let short = Packet::new(src, dst, PROTO_TCP, Bytes::from_static(b"x"));
+        assert!(Segment::peek_flags(&short).is_none());
+        let ping = Packet::new(src, dst, yoda_netsim::PROTO_PING, Bytes::new());
+        assert!(Segment::peek_flags(&ping).is_none());
     }
 
     #[test]

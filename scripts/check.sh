@@ -138,6 +138,24 @@ grep '"threads":' "$bench_json" | { while read -r row; do
     fi
 done; } || true
 
+# Splice fast path: forwarding-tier cost per data packet (raw ns/packet
+# minus the forward_direct calibration baseline), spliced vs tunneled.
+# Report-only — wall-clock — but the >=2x ratio itself is asserted inside
+# bench_engine's full mode.
+echo "==> splice fast path (forwarding-tier ns/packet)"
+tun=$(grep '"name": "forward_tunneled"' "$bench_json" \
+    | grep -o '"fwd_overhead_ns_per_packet": [0-9.]*' | grep -o '[0-9.]*$' || true)
+spl=$(grep '"name": "forward_spliced"' "$bench_json" \
+    | grep -o '"fwd_overhead_ns_per_packet": [0-9.]*' | grep -o '[0-9.]*$' || true)
+if [[ -n "$tun" && -n "$spl" ]]; then
+    awk -v t="$tun" -v s="$spl" 'BEGIN {
+        r = (s > 0) ? t / s : 0
+        printf "splice: tunneled %8.1f ns/packet  spliced %8.1f ns/packet  (%.2fx win, %.1f ns saved/packet)\n",
+               t, s, r, t - s }'
+else
+    echo "splice: no forward_* rows in smoke report — skipping delta"
+fi
+
 echo "==> figure byte-identity (spot check)"
 # Engine changes must be pure perf wins: regenerating a figure must
 # reproduce the committed bytes exactly. Full regeneration is

@@ -15,7 +15,8 @@
 //! `N` workers — per-node RNG streams make the digests identical to the
 //! single-threaded run, so CI exercises both executors with one matrix.
 
-use yoda::chaos::{run_seed, ChaosScenario};
+use yoda::chaos::{run_plan, run_seed, ChaosPlan, ChaosScenario, Fault, FaultKind};
+use yoda::netsim::SimTime;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -80,6 +81,70 @@ fn one_seed() {
     let report = run_seed(seed, &sc);
     println!("{}", report.render());
     assert!(report.ok(), "seed {seed} failed\n{}", report.render());
+}
+
+/// Runs a single hand-built fault against the survivable testbed with
+/// the mux fast path on, and checks both the availability invariants and
+/// that the fast path actually carried traffic (so the kill really hit
+/// flows with splices installed mid-transfer).
+fn assert_splice_survives(kind: FaultKind) {
+    let mut sc = ChaosScenario::survivable();
+    sc.splice = true;
+    sc.threads = threads();
+    let plan = ChaosPlan {
+        seed: 0,
+        survivable: true,
+        faults: vec![Fault {
+            at: SimTime::from_secs(10),
+            duration: SimTime::from_secs(8),
+            kind,
+        }],
+    };
+    let report = run_plan(&plan, &sc);
+    assert!(
+        report.ok(),
+        "splice chaos run violated invariants\n{}",
+        report.render()
+    );
+    assert!(
+        report.spliced > 0,
+        "no packet took the mux fast path\n{}",
+        report.render()
+    );
+    assert!(
+        report.splices_installed > 0,
+        "instances never installed a splice\n{}",
+        report.render()
+    );
+}
+
+/// Mux death with splices installed: entries die with the mux, traffic
+/// re-steers to the surviving mux's slow path, and instances re-install
+/// — no client-visible byte lost or duplicated (browser conservation).
+#[test]
+fn splice_survives_mux_kill_mid_transfer() {
+    assert_splice_survives(FaultKind::MuxCrash { i: 0 });
+}
+
+/// Instance death with splices installed: the recovering instance
+/// rebuilds flow state from TCPStore records and re-splices.
+#[test]
+fn splice_survives_instance_kill_mid_transfer() {
+    assert_splice_survives(FaultKind::InstanceCrash { i: 0 });
+}
+
+/// The full seeded survivable matrix also holds with the fast path on
+/// (a smaller slice than the default matrix — the faults are the same
+/// generator, just replayed over spliced steady-state forwarding).
+#[test]
+fn survivable_seeds_hold_with_splicing() {
+    let n = env_u64("CHAOS_SPLICE_SEEDS", 5);
+    let mut sc = ChaosScenario::survivable();
+    sc.splice = true;
+    sc.threads = threads();
+    for seed in 500..500 + n {
+        assert_seed_ok(seed, &sc);
+    }
 }
 
 /// The same seed must replay byte-identically: identical engine digest,

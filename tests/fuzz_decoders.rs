@@ -70,6 +70,62 @@ fn decoders_survive_bit_flips() {
     }
 }
 
+/// The splice-install/revoke control variants specifically: truncations,
+/// overlong payloads, and tag-prefixed garbage all decode to `None` (or a
+/// valid message for benign flips) — never a panic. These messages are
+/// emitted by instances at tunnel setup and parsed on the mux hot path,
+/// so decoder robustness is part of the fast path's safety story.
+#[test]
+fn splice_ctrl_variants_reject_malformed() {
+    let install = CtrlMsg::SpliceInstall {
+        from: yoda::netsim::Endpoint::new(yoda::netsim::Addr::new(172, 16, 0, 9), 40_001),
+        to: yoda::netsim::Endpoint::new(yoda::netsim::Addr::new(100, 0, 0, 1), 80),
+        new_src: yoda::netsim::Endpoint::new(yoda::netsim::Addr::new(100, 0, 0, 1), 40_001),
+        new_dst: yoda::netsim::Endpoint::new(yoda::netsim::Addr::new(10, 1, 0, 7), 80),
+        seq_add: 0xfeed_f00d,
+        ack_add: 0x0bad_cafe,
+    };
+    let remove = CtrlMsg::SpliceRemove {
+        from: yoda::netsim::Endpoint::new(yoda::netsim::Addr::new(10, 1, 0, 7), 80),
+        to: yoda::netsim::Endpoint::new(yoda::netsim::Addr::new(100, 0, 0, 1), 40_001),
+    };
+    for msg in [install, remove] {
+        let enc = msg.encode();
+        assert_eq!(CtrlMsg::decode(&enc).as_ref(), Some(&msg));
+        // Every truncation point rejects.
+        for cut in 0..enc.len() {
+            let _ = CtrlMsg::decode(&enc.slice(0..cut));
+            if cut > 0 {
+                assert!(CtrlMsg::decode(&enc.slice(0..cut)).is_none(), "cut={cut}");
+            }
+        }
+        // Overlong payloads reject (strict length check).
+        for extra in 1..4usize {
+            let mut long = enc.to_vec();
+            long.extend(vec![0xAAu8; extra]);
+            assert!(CtrlMsg::decode(&Bytes::from(long)).is_none());
+        }
+    }
+    // Tag-prefixed garbage: correct length, arbitrary bytes — must parse
+    // into *some* message or reject, never panic.
+    let mut rng = Rng::seed_from_u64(0x5EED_5EED);
+    for tag in [4u8, 5u8] {
+        let body_len = if tag == 4 { 32 } else { 12 };
+        for _ in 0..256 {
+            let mut raw = vec![tag];
+            raw.extend((0..body_len).map(|_| rng.gen_range(0..=u8::MAX)));
+            let decoded = CtrlMsg::decode(&Bytes::from(raw));
+            assert!(decoded.is_some(), "well-sized tag {tag} body must decode");
+        }
+        // And at every wrong length, including empty.
+        for len in (0..body_len + 4).filter(|&l| l != body_len) {
+            let mut raw = vec![tag];
+            raw.extend((0..len).map(|_| rng.gen_range(0..=u8::MAX)));
+            assert!(CtrlMsg::decode(&Bytes::from(raw)).is_none());
+        }
+    }
+}
+
 /// Rule/DSL and trace parsers reject arbitrary text without panicking.
 #[test]
 fn text_parsers_never_panic() {

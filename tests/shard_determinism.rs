@@ -7,7 +7,7 @@
 //! in a different order under sharding, the digest diverges and these
 //! tests fail.
 //!
-//! Four scenarios run at 1, 2, and 4 workers (8 in the sweep tests)
+//! Five scenarios run at 1, 2, and 4 workers (8 in the sweep tests)
 //! against a single-threaded reference:
 //!
 //! * **pingpong mesh** — latency-only links, packet storms, periodic
@@ -24,6 +24,9 @@
 //! * **chaos testbed** — a seeded `ChaosPlan` against that same stack,
 //!   so fault scheduling, witness traffic, and re-shardings all overlap
 //!   with handler randomness.
+//! * **spliced testbed** — the prequal testbed with the mux fast path
+//!   enabled, so splice installs, fast-path rewrites, and the
+//!   opportunistic table sweep replay under sharding too.
 //!
 //! The `rng_streams` module additionally pins the per-node stream
 //! semantics directly: draw sequences are identical at every worker
@@ -281,6 +284,11 @@ fn assert_identical_at(workers: usize) {
         testbed::chaos_fingerprint(0),
         "chaos testbed diverged at {workers} workers"
     );
+    assert_eq!(
+        testbed::spliced_fingerprint(workers),
+        testbed::spliced_fingerprint(0),
+        "spliced testbed diverged at {workers} workers"
+    );
 }
 
 #[test]
@@ -518,6 +526,7 @@ mod testbed {
         broken: u64,
         timeouts: u64,
         pages: u64,
+        spliced: u64,
     }
 
     /// Small prequal-probing testbed: service 0 switches to the
@@ -525,6 +534,22 @@ mod testbed {
     /// (browser think times, TCP ISNs, store core affinity, power-of-d
     /// probe picks) draws from per-node streams.
     pub fn prequal_fingerprint(threads: usize) -> TestbedPrint {
+        testbed_fingerprint(threads, false)
+    }
+
+    /// The same stack with the mux fast path enabled: splice installs,
+    /// fast-path seq/ack rewrites, FIN-driven teardown, and the idle
+    /// sweep all have to replay identically under sharding.
+    pub fn spliced_fingerprint(threads: usize) -> TestbedPrint {
+        let print = testbed_fingerprint(threads, true);
+        assert!(
+            print.spliced > 0,
+            "spliced testbed never took the fast path"
+        );
+        print
+    }
+
+    fn testbed_fingerprint(threads: usize, splice: bool) -> TestbedPrint {
         let mut tb = Testbed::build(TestbedConfig {
             seed: 0xBEEF,
             num_instances: 3,
@@ -535,6 +560,10 @@ mod testbed {
             num_services: 2,
             pages_per_site: 8,
             threads,
+            yoda: yoda::core::instance::YodaConfig {
+                splice,
+                ..Default::default()
+            },
             ..TestbedConfig::default()
         });
         let vip = tb.vips[0];
@@ -559,6 +588,7 @@ mod testbed {
             broken: 0,
             timeouts: 0,
             pages: 0,
+            spliced: 0,
         };
         for &b in &browsers {
             if let Some(bc) = tb.engine.try_node_ref::<BrowserClient>(b) {
@@ -568,7 +598,12 @@ mod testbed {
                 print.pages += bc.pages_completed;
             }
         }
-        assert!(print.completed > 0, "prequal testbed must serve fetches");
+        for &m in &tb.muxes {
+            if let Some(mx) = tb.engine.try_node_ref::<yoda::l4lb::Mux>(m) {
+                print.spliced += mx.spliced;
+            }
+        }
+        assert!(print.completed > 0, "testbed must serve fetches");
         print
     }
 
@@ -587,6 +622,7 @@ mod testbed {
             broken: report.broken_flows,
             timeouts: report.timeouts,
             pages: report.pages_completed,
+            spliced: report.spliced,
         }
     }
 
@@ -610,6 +646,18 @@ mod testbed {
                 chaos_fingerprint(threads),
                 reference,
                 "chaos testbed diverged at {threads} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn spliced_testbed_identical_at_1_2_4_workers() {
+        let reference = spliced_fingerprint(0);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                spliced_fingerprint(threads),
+                reference,
+                "spliced testbed diverged at {threads} workers"
             );
         }
     }
