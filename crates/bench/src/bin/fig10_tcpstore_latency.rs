@@ -18,7 +18,6 @@ use yoda_netsim::{
 };
 use yoda_tcpstore::{
     StoreClient, StoreClientConfig, StoreEvent, StoreOp, StoreServer, StoreServerConfig,
-    STORE_TIMER_KIND,
 };
 
 const TICK: u32 = 0xA1;
@@ -46,7 +45,7 @@ impl Node for Driver {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
         match token.kind {
-            STORE_TIMER_KIND => {
+            k if StoreClient::owns_timer_kind(k) => {
                 let evs = self.client.on_timer(ctx, token);
                 self.events.extend(evs);
             }

@@ -87,6 +87,23 @@ fn main() {
         "HAProxy-noretry broke 24% of flows; HAProxy-retry +30 s; Yoda +0.6-3 s, 0 broken",
     );
 
+    // TCPStore health as the surviving instances saw it: recovery reads
+    // land here, so a browning replica would show up as hedges/timeouts.
+    println!();
+    println!("TCPStore per-replica client stats (Yoda-noretry):");
+    let (_, yoda) = &cdf_sets[0];
+    yoda.store_stats.table().print();
+    print_kv(
+        "store ops: timeouts/hedges/retries/quarantines",
+        format!(
+            "{} / {} / {} / {}",
+            yoda.store_stats.timeouts,
+            yoda.store_stats.hedges,
+            yoda.store_stats.retries,
+            yoda.store_stats.quarantines
+        ),
+    );
+
     println!();
     println!("(a) request-latency CDF points (fraction of requests <= x ms):");
     let mut cdf_table = Table::new(&["x (ms)", "Yoda-noretry", "HAProxy-noretry", "HAProxy-retry"]);

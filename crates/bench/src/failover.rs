@@ -12,6 +12,8 @@ use yoda_http::{BrowserClient, BrowserConfig};
 use yoda_netsim::{Histogram, SimTime, TraceKind};
 use yoda_proxy::{ProxyTestbed, ProxyTestbedConfig};
 
+use crate::storestats::StoreStatsSummary;
+
 /// Which load balancer to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LbKind {
@@ -105,6 +107,9 @@ pub struct FailoverOutcome {
     pub session_resets: u64,
     /// Flows recovered from TCPStore by surviving instances (Yoda only).
     pub recoveries: u64,
+    /// Store-client statistics summed across surviving instances (Yoda
+    /// only): per-replica EWMA, timeouts, hedges, retries, quarantines.
+    pub store_stats: StoreStatsSummary,
     /// Timeline lines around the failure (when requested).
     pub timeline: Vec<String>,
 }
@@ -170,6 +175,7 @@ fn collect_browsers(
         resets: 0,
         session_resets: 0,
         recoveries: 0,
+        store_stats: StoreStatsSummary::default(),
         timeline: Vec::new(),
     };
     for &id in ids {
@@ -317,6 +323,12 @@ fn run_yoda(setup: &FailoverSetup) -> FailoverOutcome {
         .filter(|&&i| tb.engine.is_alive(i))
         .map(|&i| tb.engine.node_ref::<YodaInstance>(i).recoveries)
         .sum();
+    for &i in &tb.instances {
+        if tb.engine.is_alive(i) {
+            out.store_stats
+                .absorb(tb.engine.node_ref::<YodaInstance>(i).store_client());
+        }
+    }
     if setup.timeline {
         out.timeline = extract_timeline(&tb.engine, setup.fail_at);
     }

@@ -12,10 +12,12 @@
 pub mod failover;
 pub mod report;
 pub mod sampler;
+pub mod storestats;
 
 pub use failover::{run_failover, FailoverOutcome, FailoverSetup, LbKind};
 pub use report::{print_header, print_kv, print_row, Table};
 pub use sampler::TimeSeries;
+pub use storestats::StoreStatsSummary;
 
 /// Parses `--key value` style arguments with a default.
 pub fn arg_f64(name: &str, default: f64) -> f64 {

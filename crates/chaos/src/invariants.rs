@@ -10,8 +10,9 @@ use yoda_core::controller::Controller;
 use yoda_core::instance::YodaInstance;
 use yoda_core::rules::RuleTable;
 use yoda_core::testbed::Testbed;
-use yoda_http::BrowserClient;
+use yoda_http::{BrowserClient, OriginServer};
 use yoda_netsim::NodeId;
+use yoda_tcpstore::StoreServer;
 
 use crate::orchestrator::ChaosScenario;
 use crate::plan::ChaosPlan;
@@ -59,6 +60,31 @@ pub fn check_invariants(
     }
     if total_completed == 0 {
         v.push("no fetch completed in the whole run".to_string());
+    }
+
+    // --- Degraded-mode drops are bounded and accounted (all plans). ----
+    // Every record that entered the write-behind buffer is either still
+    // queued, replayed after a heal, or counted as dropped — and the
+    // queue itself never exceeds its configured cap.
+    let wb_cap = tb.yoda_cfg.write_behind_cap;
+    for (&id, addr) in tb.instances.iter().zip(&tb.instance_addrs) {
+        let Some(inst) = tb.engine.try_node_ref::<YodaInstance>(id) else {
+            continue;
+        };
+        let queued = inst.write_behind_len() as u64;
+        let accounted = inst.wb_drained + inst.wb_dropped + queued;
+        if inst.wb_enqueued != accounted {
+            v.push(format!(
+                "instance {addr}: write-behind conservation broken — enqueued {} != \
+                 accounted {} (drained {} + dropped {} + queued {queued})",
+                inst.wb_enqueued, accounted, inst.wb_drained, inst.wb_dropped
+            ));
+        }
+        if queued as usize > wb_cap {
+            v.push(format!(
+                "instance {addr}: write-behind queue {queued} exceeds its cap {wb_cap}"
+            ));
+        }
     }
 
     // --- Bounded resolution (drain) for finite workloads. --------------
@@ -111,6 +137,57 @@ pub fn check_invariants(
             v.push(format!(
                 "{} still partitioned after every fault healed",
                 tb.engine.node_name(id)
+            ));
+        } else if tb.engine.is_link_degraded(id) {
+            v.push(format!(
+                "{} links still degraded after every fault healed",
+                tb.engine.node_name(id)
+            ));
+        }
+    }
+
+    // --- Slowdowns healed: every speed factor back to 1.0. -------------
+    for (&id, addr) in tb.stores.iter().zip(&tb.store_addrs) {
+        if let Some(s) = tb.engine.try_node_ref::<StoreServer>(id) {
+            if s.speed_factor() != 1.0 {
+                v.push(format!(
+                    "store {addr} still slowed ({}x) after every fault healed",
+                    s.speed_factor()
+                ));
+            }
+        }
+    }
+    for &id in &tb.backends {
+        if let Some(s) = tb.engine.try_node_ref::<OriginServer>(id) {
+            if s.speed_factor() != 1.0 {
+                v.push(format!(
+                    "backend {} still slowed ({}x) after every fault healed",
+                    tb.engine.node_name(id),
+                    s.speed_factor()
+                ));
+            }
+        }
+    }
+
+    // --- Brownout heal ⇒ write-behind drains. --------------------------
+    // Survivable schedules heal every gray fault well before the
+    // deadline, so no instance may still be running degraded, and every
+    // queued write-behind record must have replayed to the store.
+    for (&id, addr) in tb.instances.iter().zip(&tb.instance_addrs) {
+        if !tb.engine.is_alive(id) {
+            continue;
+        }
+        let Some(inst) = tb.engine.try_node_ref::<YodaInstance>(id) else {
+            continue;
+        };
+        if inst.is_degraded() {
+            v.push(format!(
+                "instance {addr} still in degraded mode after every store fault healed"
+            ));
+        } else if inst.write_behind_len() != 0 {
+            v.push(format!(
+                "instance {addr}: {} write-behind records never drained after heal",
+                inst.write_behind_len()
             ));
         }
     }

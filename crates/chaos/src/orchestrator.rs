@@ -15,7 +15,7 @@ use yoda_l4lb::Mux;
 use yoda_netsim::{Addr, LinkSpec, NodeId, SimTime, Zone};
 
 use crate::invariants::check_invariants;
-use crate::plan::{ChaosPlan, FaultKind, PlanBudget, PlanShape};
+use crate::plan::{ChaosPlan, FaultKind, GrayTarget, PlanBudget, PlanShape};
 use crate::witness::StoreWitness;
 
 /// Scenario knobs: testbed shape, client workload, run length, and the
@@ -146,6 +146,18 @@ pub struct ChaosReport {
     /// Splice installs the instances issued (first installs + re-installs
     /// after mux failover).
     pub splices_installed: u64,
+    /// Times any instance entered store-brownout degraded mode.
+    pub degraded_entries: u64,
+    /// Write-behind records dropped on buffer overflow (summed).
+    pub write_behind_dropped: u64,
+    /// Hedged store reads fired across all instances.
+    pub store_hedges: u64,
+    /// Store op retries fired across all instances.
+    pub store_retries: u64,
+    /// Store replica quarantine entries across all instances.
+    pub store_quarantines: u64,
+    /// Instance derates the controller issued (suspect, not dead).
+    pub derates: u64,
     /// Invariant violations (empty = the run passed).
     pub violations: Vec<String>,
 }
@@ -161,7 +173,9 @@ impl ChaosReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "seed {} ({}): completed={} broken={} timeouts={} resets={} pages={} \
-             witness(ok={} skipped={}) recoveries={} spliced={}/{} digest={:#018x}\n{}",
+             witness(ok={} skipped={}) recoveries={} spliced={}/{} \
+             gray(degraded={} wb_dropped={} hedges={} retries={} quarantines={} derates={}) \
+             digest={:#018x}\n{}",
             self.seed,
             if self.survivable {
                 "survivable"
@@ -178,6 +192,12 @@ impl ChaosReport {
             self.recoveries_detected,
             self.spliced,
             self.splices_installed,
+            self.degraded_entries,
+            self.write_behind_dropped,
+            self.store_hedges,
+            self.store_retries,
+            self.store_quarantines,
+            self.derates,
             self.digest,
             self.plan.render(),
         );
@@ -270,6 +290,12 @@ pub fn run_plan(plan: &ChaosPlan, sc: &ChaosScenario) -> ChaosReport {
         recoveries_detected: 0,
         spliced: 0,
         splices_installed: 0,
+        degraded_entries: 0,
+        write_behind_dropped: 0,
+        store_hedges: 0,
+        store_retries: 0,
+        store_quarantines: 0,
+        derates: 0,
         violations,
     };
     for &b in &browsers {
@@ -293,10 +319,17 @@ pub fn run_plan(plan: &ChaosPlan, sc: &ChaosScenario) -> ChaosReport {
     for &i in &tb.instances {
         if let Some(inst) = tb.engine.try_node_ref::<YodaInstance>(i) {
             report.splices_installed += inst.splices_installed;
+            report.degraded_entries += inst.degraded_entries;
+            report.write_behind_dropped += inst.wb_dropped;
+            let sc = inst.store_client();
+            report.store_hedges += sc.hedges;
+            report.store_retries += sc.retries;
+            report.store_quarantines += sc.quarantines;
         }
     }
     if let Some(c) = tb.engine.try_node_ref::<Controller>(tb.controller) {
         report.recoveries_detected = c.recoveries_detected;
+        report.derates = c.derates;
     }
     report
 }
@@ -364,7 +397,57 @@ pub fn apply_plan(tb: &mut Testbed, plan: &ChaosPlan, witness: Option<NodeId>) {
                 .collect();
                 wan_override_dirs(tb, at, end, dirs, |_| LinkSpec::blackhole());
             }
+            FaultKind::NodeSlowdown { node, factor } => match node {
+                GrayTarget::Store(i) if i < tb.stores.len() => {
+                    bump_epoch_at(tb, witness, at);
+                    tb.slowdown_store_at(i, f64::from(factor), at);
+                    bump_epoch_at(tb, witness, end);
+                    tb.slowdown_store_at(i, 1.0, end);
+                }
+                GrayTarget::Backend(i) if i < tb.backends.len() => {
+                    tb.slowdown_backend_at(i, f64::from(factor), at);
+                    tb.slowdown_backend_at(i, 1.0, end);
+                }
+                _ => {}
+            },
+            FaultKind::LinkDegrade {
+                node,
+                loss_pct,
+                jitter_ms,
+            } => {
+                if let Some(id) = gray_node(tb, node) {
+                    if matches!(node, GrayTarget::Store(_)) {
+                        bump_epoch_at(tb, witness, at);
+                        bump_epoch_at(tb, witness, end);
+                    }
+                    let loss = f64::from(loss_pct.min(100)) / 100.0;
+                    let jitter = SimTime::from_millis(u64::from(jitter_ms));
+                    tb.degrade_links_at(id, loss, jitter, at);
+                    tb.degrade_links_at(id, 0.0, SimTime::ZERO, end);
+                }
+            }
+            FaultKind::AsymmetricPartition { node, inbound } => {
+                if let Some(id) = gray_node(tb, node) {
+                    if matches!(node, GrayTarget::Store(_)) {
+                        bump_epoch_at(tb, witness, at);
+                        bump_epoch_at(tb, witness, end);
+                    }
+                    tb.partition_dirs_at(id, inbound, !inbound, at);
+                    tb.heal_at(id, end);
+                }
+            }
         }
+    }
+}
+
+/// Resolves a gray-fault target to its testbed node (generator indices
+/// always fit the shape; hand-built plans may not, so misses are no-ops).
+fn gray_node(tb: &Testbed, node: GrayTarget) -> Option<NodeId> {
+    match node {
+        GrayTarget::Instance(i) => tb.instances.get(i).copied(),
+        GrayTarget::Store(i) => tb.stores.get(i).copied(),
+        GrayTarget::Mux(i) => tb.muxes.get(i).copied(),
+        GrayTarget::Backend(i) => tb.backends.get(i).copied(),
     }
 }
 

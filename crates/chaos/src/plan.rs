@@ -84,6 +84,64 @@ pub enum FaultKind {
         /// Cut the Dc→External direction.
         to_ext: bool,
     },
+    /// Gray failure: slow `node`'s CPU service time by `factor`× for the
+    /// window. The node stays alive and keeps answering pings — only its
+    /// work gets slow. Stores and backends carry the CPU service-time
+    /// models, so they are the valid targets (store brownout is the
+    /// headline case).
+    NodeSlowdown {
+        /// The component to brown out.
+        node: GrayTarget,
+        /// Service-time multiplier (`10` = answering 10× slower).
+        factor: u32,
+    },
+    /// Gray failure: degrade every link touching `node` — `loss_pct`%
+    /// per-packet loss plus up to `jitter_ms` of added seeded delay in
+    /// each direction. The node itself is healthy; its network is not.
+    LinkDegrade {
+        /// The component whose links flap.
+        node: GrayTarget,
+        /// Per-packet loss percentage (0–100) on the node's links.
+        loss_pct: u32,
+        /// Upper bound on added per-packet delay (milliseconds).
+        jitter_ms: u32,
+    },
+    /// Gray failure: cut exactly one direction of `node`'s connectivity
+    /// (`inbound` = packets to it vanish, otherwise packets from it do).
+    /// The half-open connectivity confuses naive health checks: one side
+    /// still sees traffic flowing.
+    AsymmetricPartition {
+        /// The component to half-partition.
+        node: GrayTarget,
+        /// Cut ingress when `true`, egress when `false`.
+        inbound: bool,
+    },
+}
+
+/// Which component a gray fault degrades. Maps onto the same overlap
+/// targets as the crash faults, so a slow store counts against
+/// `max_stores_impaired` exactly like a dead one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GrayTarget {
+    /// Yoda instance `i`.
+    Instance(usize),
+    /// Store server `i`.
+    Store(usize),
+    /// Mux `i`.
+    Mux(usize),
+    /// Backend server `i`.
+    Backend(usize),
+}
+
+impl GrayTarget {
+    fn target(self) -> Target {
+        match self {
+            GrayTarget::Instance(i) => Target::Instance(i),
+            GrayTarget::Store(i) => Target::Store(i),
+            GrayTarget::Mux(i) => Target::Mux(i),
+            GrayTarget::Backend(i) => Target::Backend(i),
+        }
+    }
 }
 
 /// What a fault impairs, for overlap accounting.
@@ -110,6 +168,28 @@ impl FaultKind {
             FaultKind::WanLossBurst { .. }
             | FaultKind::WanLatencySpike { .. }
             | FaultKind::WanPartition { .. } => Target::Wan,
+            FaultKind::NodeSlowdown { node, .. }
+            | FaultKind::LinkDegrade { node, .. }
+            | FaultKind::AsymmetricPartition { node, .. } => node.target(),
+        }
+    }
+
+    /// Whether this fault can consume a browser retry even with a
+    /// perfectly behaving L7 LB. WAN impairments and anything that slows
+    /// or breaks the backend/data path for client bytes count; Yoda's own
+    /// churn (instances, muxes, stores — crashed, partitioned, slowed, or
+    /// lossy) is masked by flow re-steering, TCPStore recovery, hedged
+    /// store reads, and degraded-mode admission, and costs nothing.
+    /// Exception: packet loss on an instance or mux link sits on the
+    /// client byte path itself, which no LB logic can mask.
+    fn client_visible(self) -> bool {
+        match self {
+            FaultKind::LinkDegrade { node, .. } => {
+                !matches!(node, GrayTarget::Store(_))
+            }
+            FaultKind::NodeSlowdown { node, .. } => matches!(node, GrayTarget::Backend(_)),
+            FaultKind::AsymmetricPartition { .. } => false,
+            _ => matches!(self.target(), Target::Wan | Target::Backend(_)),
         }
     }
 }
@@ -206,6 +286,17 @@ pub struct PlanBudget {
     /// Ceiling on WAN-partition duration (kept far below the browser
     /// timeout in survivable plans).
     pub max_wan_partition: SimTime,
+    /// Ceiling on a [`FaultKind::NodeSlowdown`] factor.
+    pub max_slowdown_factor: u32,
+    /// Ceiling on `factor × duration_secs` for a slowdown — the total
+    /// "slowness budget" of one gray fault. Caps the backlog a browned-out
+    /// store can accumulate, so survivable runs drain it before the
+    /// deadline.
+    pub max_slowdown_factor_secs: u64,
+    /// Ceiling on [`FaultKind::LinkDegrade`] loss (percent).
+    pub max_link_loss_pct: u32,
+    /// Ceiling on [`FaultKind::LinkDegrade`] jitter (milliseconds).
+    pub max_link_jitter_ms: u32,
     /// Whether the floors above are enforced. Mirrored into
     /// [`ChaosPlan::survivable`].
     pub survivable: bool,
@@ -229,6 +320,10 @@ impl PlanBudget {
             min_duration: SimTime::from_secs(1),
             max_duration: SimTime::from_secs(6),
             max_wan_partition: SimTime::from_secs(2),
+            max_slowdown_factor: 10,
+            max_slowdown_factor_secs: 60,
+            max_link_loss_pct: 30,
+            max_link_jitter_ms: 20,
             survivable: true,
         }
     }
@@ -250,6 +345,10 @@ impl PlanBudget {
             min_duration: SimTime::from_secs(1),
             max_duration: SimTime::from_secs(8),
             max_wan_partition: SimTime::from_secs(5),
+            max_slowdown_factor: u32::MAX,
+            max_slowdown_factor_secs: u64::MAX,
+            max_link_loss_pct: 100,
+            max_link_jitter_ms: u32::MAX,
             survivable: false,
         }
     }
@@ -356,6 +455,9 @@ fn draw(rng: &mut Rng, shape: &PlanShape, budget: &PlanBudget) -> Fault {
     push(7, 2, true); // WAN loss burst
     push(8, 2, true); // WAN latency spike
     push(9, 1, budget.allow_wan_partition);
+    push(10, 2, shape.stores > 0 || shape.backends > 0); // node slowdown (gray)
+    push(11, 2, shape.instances + shape.stores + shape.muxes > 0); // link degrade (gray)
+    push(12, 2, shape.instances > 0 || shape.stores > 0); // asymmetric partition (gray)
     let class = classes
         .get(rng.gen_range(0..classes.len().max(1) as u64) as usize)
         .copied()
@@ -413,6 +515,49 @@ fn draw(rng: &mut Rng, shape: &PlanShape, budget: &PlanBudget) -> Fault {
                 },
             }
         }
+        10 => {
+            // Stores are the preferred brownout victims (the paper's
+            // store tier is the availability-critical dependency);
+            // backends take the remaining third.
+            let node = if shape.stores > 0 && (shape.backends == 0 || rng.gen_range(0..3u64) < 2)
+            {
+                GrayTarget::Store(pick(rng, shape.stores))
+            } else {
+                GrayTarget::Backend(pick(rng, shape.backends))
+            };
+            // Drawn past the survivable cap on purpose: rejection
+            // sampling trims survivable plans to ≤10×, unconstrained
+            // plans keep the harsher draws.
+            FaultKind::NodeSlowdown {
+                node,
+                factor: 2 + rng.gen_range(0..=18u64) as u32,
+            }
+        }
+        11 => {
+            let node = match rng.gen_range(0..3u64) {
+                0 if shape.instances > 0 => GrayTarget::Instance(pick(rng, shape.instances)),
+                1 if shape.muxes > 0 => GrayTarget::Mux(pick(rng, shape.muxes)),
+                _ if shape.stores > 0 => GrayTarget::Store(pick(rng, shape.stores)),
+                _ => GrayTarget::Instance(pick(rng, shape.instances)),
+            };
+            FaultKind::LinkDegrade {
+                node,
+                loss_pct: 5 + rng.gen_range(0..=45u64) as u32,
+                jitter_ms: 1 + rng.gen_range(0..=29u64) as u32,
+            }
+        }
+        12 => {
+            let node = if shape.instances > 0 && (shape.stores == 0 || rng.gen_range(0..2u64) == 0)
+            {
+                GrayTarget::Instance(pick(rng, shape.instances))
+            } else {
+                GrayTarget::Store(pick(rng, shape.stores))
+            };
+            FaultKind::AsymmetricPartition {
+                node,
+                inbound: rng.gen_range(0..2u64) == 0,
+            }
+        }
         _ => FaultKind::WanLossBurst {
             loss_pct: 10 + rng.gen_range(0..=40u64) as u32,
         },
@@ -443,16 +588,37 @@ fn admissible(existing: &[Fault], f: &Fault, shape: &PlanShape, budget: &PlanBud
     if !budget.survivable {
         return true;
     }
+    // Gray-fault intensity caps: a browned-out store must not accumulate
+    // more backlog than the run can drain, and degraded links must stay
+    // inside what TCP retransmission + hedged store ops absorb.
+    match f.kind {
+        FaultKind::NodeSlowdown { factor, .. } => {
+            if factor > budget.max_slowdown_factor {
+                return false;
+            }
+            let factor_secs = u64::from(factor).saturating_mul(f.duration.as_micros())
+                / 1_000_000;
+            if factor_secs > budget.max_slowdown_factor_secs {
+                return false;
+            }
+        }
+        FaultKind::LinkDegrade {
+            loss_pct,
+            jitter_ms,
+            ..
+        } => {
+            if loss_pct > budget.max_link_loss_pct || jitter_ms > budget.max_link_jitter_ms {
+                return false;
+            }
+        }
+        _ => {}
+    }
     // Client-visible faults are capped over the *whole plan*, not just
     // the overlap window: one object's attempts can span distant faults
     // (a 10 s timeout, then a retry into the next burst), so every such
     // fault potentially consumes a retry of the same unlucky object.
-    let client_visible = |t: Target| matches!(t, Target::Wan | Target::Backend(_));
-    if client_visible(f.kind.target()) {
-        let already = existing
-            .iter()
-            .filter(|e| client_visible(e.kind.target()))
-            .count();
+    if f.kind.client_visible() {
+        let already = existing.iter().filter(|e| e.kind.client_visible()).count();
         if already + 1 > budget.max_client_visible {
             return false;
         }
@@ -582,15 +748,65 @@ mod tests {
             let visible = plan
                 .faults
                 .iter()
-                .filter(|f| {
-                    matches!(f.kind.target(), Target::Wan | Target::Backend(_))
-                })
+                .filter(|f| f.kind.client_visible())
                 .count();
             assert!(
                 visible <= budget.max_client_visible,
                 "seed {seed}: {visible} client-visible faults"
             );
         }
+    }
+
+    /// Survivable gray faults stay inside the intensity caps: slowdown
+    /// factor, slowness budget (factor × seconds), link loss, and jitter.
+    #[test]
+    fn survivable_gray_faults_respect_intensity_caps() {
+        let s = shape();
+        let budget = PlanBudget::survivable();
+        let mut saw_gray = false;
+        for seed in 0..256 {
+            let plan = ChaosPlan::generate(seed, &s, &budget);
+            for f in &plan.faults {
+                match f.kind {
+                    FaultKind::NodeSlowdown { factor, .. } => {
+                        saw_gray = true;
+                        assert!(factor <= budget.max_slowdown_factor, "seed {seed}");
+                        let factor_secs =
+                            u64::from(factor) * f.duration.as_micros() / 1_000_000;
+                        assert!(
+                            factor_secs <= budget.max_slowdown_factor_secs,
+                            "seed {seed}: slowness budget {factor_secs}"
+                        );
+                    }
+                    FaultKind::LinkDegrade {
+                        loss_pct,
+                        jitter_ms,
+                        ..
+                    } => {
+                        saw_gray = true;
+                        assert!(loss_pct <= budget.max_link_loss_pct, "seed {seed}");
+                        assert!(jitter_ms <= budget.max_link_jitter_ms, "seed {seed}");
+                    }
+                    FaultKind::AsymmetricPartition { .. } => saw_gray = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_gray, "no survivable seed in 0..256 drew a gray fault");
+    }
+
+    /// Unconstrained budgets admit slowdowns past the survivable cap
+    /// (the generator draws up to 20×; survivable trims to ≤10×).
+    #[test]
+    fn unconstrained_plans_draw_harsher_gray_faults() {
+        let s = shape();
+        let hit = (0..256).any(|seed| {
+            ChaosPlan::generate(seed, &s, &PlanBudget::unconstrained())
+                .faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::NodeSlowdown { factor, .. } if factor > 10))
+        });
+        assert!(hit, "no unconstrained seed in 0..256 drew a >10x slowdown");
     }
 
     #[test]

@@ -46,6 +46,17 @@ pub struct AutoscaleConfig {
 pub struct ControllerConfig {
     /// Health-ping period (paper: 600 ms).
     pub ping_interval: SimTime,
+    /// Consecutive missed pings before an endpoint is declared dead.
+    /// The paper declares death after a single 600 ms miss; one gray
+    /// packet drop then kills a healthy node, so the default demands 3.
+    pub miss_threshold: u32,
+    /// Consecutive missed pings before an *instance* is derated —
+    /// removed from new-flow VIP maps while monitoring continues. Must
+    /// be below `miss_threshold` to act as an early suspicion level.
+    pub derate_misses: u32,
+    /// Pong-RTT EWMA above which an instance is derated (suspicion by
+    /// slowness, not just silence: a browning node answers pings late).
+    pub suspect_latency: SimTime,
     /// Stats-poll period.
     pub stats_interval: SimTime,
     /// Extra delay between successive per-mux map updates (non-atomic
@@ -59,6 +70,9 @@ impl Default for ControllerConfig {
     fn default() -> Self {
         ControllerConfig {
             ping_interval: SimTime::from_millis(600),
+            miss_threshold: 3,
+            derate_misses: 2,
+            suspect_latency: SimTime::from_millis(10),
             stats_interval: SimTime::from_secs(1),
             mux_stagger: SimTime::from_millis(50),
             autoscale: None,
@@ -75,6 +89,15 @@ struct Monitored {
     /// recovered, even if the endpoint still answers (it may be alive —
     /// removal is an operator decision, not a health verdict).
     removed: bool,
+    /// Consecutive ping cycles with no pong (reset by any pong).
+    misses: u32,
+    /// When the most recent ping was sent (for pong RTT).
+    ping_sent: SimTime,
+    /// Pong-RTT EWMA; `ZERO` until the first sample.
+    ewma: SimTime,
+    /// Suspected (derated): pulled from new-flow VIP maps but still
+    /// monitored — an early, reversible level below `failed`.
+    derated: bool,
 }
 
 impl Monitored {
@@ -84,6 +107,10 @@ impl Monitored {
             awaiting: false,
             failed: false,
             removed: false,
+            misses: 0,
+            ping_sent: SimTime::ZERO,
+            ewma: SimTime::ZERO,
+            derated: false,
         }
     }
 }
@@ -137,6 +164,11 @@ pub struct Controller {
     /// Recoveries detected by the monitor (a previously failed endpoint
     /// answering pings again).
     pub recoveries_detected: u64,
+    /// Instances derated on suspicion (slow or missing pongs) before any
+    /// death verdict.
+    pub derates: u64,
+    /// Derated instances re-admitted after looking healthy again.
+    pub underates: u64,
     /// Instances activated by the autoscaler.
     pub instances_added: u64,
     /// CPU/request-rate samples over time (Figure 13's series).
@@ -165,6 +197,8 @@ impl Controller {
             last_stats_at: SimTime::ZERO,
             failures_detected: 0,
             recoveries_detected: 0,
+            derates: 0,
+            underates: 0,
             instances_added: 0,
             cpu_history: Vec::new(),
             failure_times: Vec::new(),
@@ -221,6 +255,11 @@ impl Controller {
     /// Whether a VIP is registered.
     pub fn has_vip(&self, vip: Endpoint) -> bool {
         self.vips.contains_key(&vip)
+    }
+
+    /// Whether `addr` is currently suspected (derated) by the monitor.
+    pub fn is_derated(&self, addr: Addr) -> bool {
+        self.monitored.iter().any(|m| m.ep.addr == addr && m.derated)
     }
 
     /// Currently-active instances.
@@ -391,27 +430,7 @@ impl Controller {
         if self.active.get(&addr).copied().unwrap_or(false) {
             // A Yoda instance died: remove it from every VIP mapping so
             // the muxes re-steer its flows to the survivors (§4.2).
-            self.active.insert(addr, false);
-            let me = self.me();
-            let muxes = self.muxes.clone();
-            let stagger = self.cfg.mux_stagger;
-            for (&vip, state) in self.vips.iter_mut() {
-                if !state.instances.contains(&addr) {
-                    continue;
-                }
-                state.instances.retain(|&i| i != addr);
-                state.version = self.next_version;
-                self.next_version += 1;
-                for (i, &mux) in muxes.iter().enumerate() {
-                    let msg = CtrlMsg::SetVipMap {
-                        vip: vip.addr,
-                        instances: state.instances.clone(),
-                        version: state.version,
-                    };
-                    let pkt = msg.into_packet(me, mux);
-                    ctx.send_after(stagger * i as u64, pkt);
-                }
-            }
+            self.remove_instance_from_maps(ctx, addr);
         } else if ep.port == 80 {
             // A backend died: instances must terminate its flows.
             self.broadcast_backend_down(ctx, ep);
@@ -466,14 +485,65 @@ impl Controller {
             return;
         }
         if self.active.contains_key(&addr) {
-            // A Yoda instance rejoined. Spares that never served stay
-            // idle; anything that appears in a VIP's intended assignment
-            // is re-installed and re-mapped. The instance restarted with
-            // empty state: give it the current mux set, then its rules,
-            // then add it back to the mux maps.
+            self.readmit_instance(ctx, addr);
+            return;
+        }
+        if ep.port == 80 {
+            // A backend came back: lift the death sentence on every
+            // active instance so its flows can be balanced onto it again
+            // (probe pools re-admit it after fresh probe rounds).
+            for &inst in &self.instances {
+                if self.active.get(&inst).copied().unwrap_or(false) {
+                    let msg = InstanceCtrl::BackendUp { backend: ep };
+                    ctx.send(msg.into_packet(me, inst));
+                }
+            }
+        }
+        // Store-server recovery needs no action: the client library's
+        // hash ring still includes it and will reach it again.
+    }
+
+    /// Pulls an instance out of every VIP map (death or suspicion): the
+    /// muxes re-steer its *new* flows to the survivors (§4.2); existing
+    /// flows stay pinned by mux flow tables.
+    fn remove_instance_from_maps(&mut self, ctx: &mut Ctx<'_>, addr: Addr) {
+        self.active.insert(addr, false);
+        let me = self.me();
+        let muxes = self.muxes.clone();
+        let stagger = self.cfg.mux_stagger;
+        for (&vip, state) in self.vips.iter_mut() {
+            if !state.instances.contains(&addr) {
+                continue;
+            }
+            state.instances.retain(|&i| i != addr);
+            state.version = self.next_version;
+            self.next_version += 1;
+            for (i, &mux) in muxes.iter().enumerate() {
+                let msg = CtrlMsg::SetVipMap {
+                    vip: vip.addr,
+                    instances: state.instances.clone(),
+                    version: state.version,
+                };
+                let pkt = msg.into_packet(me, mux);
+                ctx.send_after(stagger * i as u64, pkt);
+            }
+        }
+    }
+
+    /// Re-admits an instance to the serving rotation (recovery after a
+    /// death verdict, or a lifted derate). Returns whether the instance
+    /// was actually re-admitted (spares that never served stay idle).
+    fn readmit_instance(&mut self, ctx: &mut Ctx<'_>, addr: Addr) -> bool {
+        // A Yoda instance rejoined. Spares that never served stay
+        // idle; anything that appears in a VIP's intended assignment
+        // is re-installed and re-mapped. The instance may have
+        // restarted with empty state: give it the current mux set,
+        // then its rules, then add it back to the mux maps.
+        let me = self.me();
+        {
             let was_serving = self.vips.values().any(|s| s.assigned.contains(&addr));
             if !was_serving {
-                return;
+                return false;
             }
             self.active.insert(addr, true);
             let msg = InstanceCtrl::SetMuxes {
@@ -523,21 +593,32 @@ impl Controller {
                 let version = state.version;
                 self.push_vip_map(ctx, vip.addr, instances, version);
             }
-            return;
         }
-        if ep.port == 80 {
-            // A backend came back: lift the death sentence on every
-            // active instance so its flows can be balanced onto it again
-            // (probe pools re-admit it after fresh probe rounds).
-            for &inst in &self.instances {
-                if self.active.get(&inst).copied().unwrap_or(false) {
-                    let msg = InstanceCtrl::BackendUp { backend: ep };
-                    ctx.send(msg.into_packet(me, inst));
-                }
-            }
+        true
+    }
+
+    /// Suspicion level 1: derates an instance — pulled from new-flow
+    /// maps (reversibly) while pings continue. A browning node stops
+    /// receiving new flows *before* the miss threshold would declare it
+    /// dead; flows it already carries keep forwarding.
+    fn derate_instance(&mut self, ctx: &mut Ctx<'_>, addr: Addr) {
+        if !self.active.get(&addr).copied().unwrap_or(false) {
+            return; // Not a serving instance: nothing to derate.
         }
-        // Store-server recovery needs no action: the client library's
-        // hash ring still includes it and will reach it again.
+        self.derates += 1;
+        ctx.trace_note(format!("controller derated suspect instance {addr}"));
+        self.remove_instance_from_maps(ctx, addr);
+    }
+
+    /// Lifts a derate once the instance answers promptly again.
+    fn underate_instance(&mut self, ctx: &mut Ctx<'_>, addr: Addr) {
+        if self.active.get(&addr).copied().unwrap_or(true) {
+            return; // Not an instance, or already serving.
+        }
+        if self.readmit_instance(ctx, addr) {
+            self.underates += 1;
+            ctx.trace_note(format!("controller re-admitted instance {addr}"));
+        }
     }
 
     /// Activates `n` spare instances: install every VIP's rules, then add
@@ -579,16 +660,30 @@ impl Controller {
     }
 
     fn ping_cycle(&mut self, ctx: &mut Ctx<'_>) {
-        // First: anything that did not answer the previous ping is dead.
+        // First: account a miss for anything that did not answer the
+        // previous ping. A single miss used to mean death — one gray
+        // packet drop killed a healthy node. Now `miss_threshold`
+        // consecutive misses mean death, with `derate_misses` as the
+        // earlier, reversible suspicion level for instances.
         let mut newly_failed = Vec::new();
+        let mut newly_suspect = Vec::new();
         for m in &mut self.monitored {
             if m.awaiting && !m.failed {
-                m.failed = true;
-                newly_failed.push(m.ep);
+                m.misses += 1;
+                if m.misses >= self.cfg.miss_threshold {
+                    m.failed = true;
+                    newly_failed.push(m.ep);
+                } else if m.misses >= self.cfg.derate_misses && !m.derated {
+                    m.derated = true;
+                    newly_suspect.push(m.ep);
+                }
             }
         }
         for ep in newly_failed {
             self.on_failure(ctx, ep);
+        }
+        for ep in newly_suspect {
+            self.derate_instance(ctx, ep.addr);
         }
         // Then: ping everyone still managed — including endpoints already
         // declared failed. A failed endpoint that answers again (restarted
@@ -597,6 +692,7 @@ impl Controller {
         // outside the rotation forever. Administratively removed
         // endpoints are the exception: operator decisions stick.
         let me = Endpoint::new(self.addr, 0);
+        let now = ctx.now();
         for m in &mut self.monitored {
             if m.removed {
                 continue;
@@ -604,6 +700,7 @@ impl Controller {
             if !m.failed {
                 m.awaiting = true;
             }
+            m.ping_sent = now;
             ctx.send(Packet::new(me, m.ep, PROTO_PING, Bytes::new()));
         }
         ctx.set_timer(self.cfg.ping_interval, TimerToken::new(PING_KIND));
@@ -662,21 +759,66 @@ impl Node for Controller {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
         match pkt.protocol {
             PROTO_PING => {
-                // A pong: clear the awaiting flag; a pong from an
-                // endpoint previously declared dead means it recovered.
+                // A pong: clear the awaiting flag and the miss streak; a
+                // pong from an endpoint previously declared dead means it
+                // recovered. The pong RTT feeds a per-endpoint EWMA — a
+                // node that answers, but slowly, is suspected (derated)
+                // without ever missing a ping.
+                let now = ctx.now();
+                let suspect = self.cfg.suspect_latency;
                 let mut recovered = Vec::new();
+                let mut slow = Vec::new();
+                let mut healed = Vec::new();
                 for m in &mut self.monitored {
                     if m.ep.addr == pkt.src.addr && (m.ep.port == 0 || m.ep.port == pkt.src.port)
                     {
                         m.awaiting = false;
+                        m.misses = 0;
+                        let rtt = now.saturating_sub(m.ping_sent);
+                        m.ewma = if m.ewma == SimTime::ZERO {
+                            rtt
+                        } else {
+                            SimTime::from_micros(
+                                (m.ewma.as_micros() * 4 + rtt.as_micros()) / 5,
+                            )
+                        };
                         if m.failed && !m.removed {
                             m.failed = false;
+                            m.derated = false;
                             recovered.push(m.ep);
+                        } else if !m.derated && m.ewma > suspect {
+                            m.derated = true;
+                            slow.push(m.ep);
+                        } else if m.derated && m.ewma <= suspect {
+                            m.derated = false;
+                            healed.push(m.ep);
+                        } else if pkt.payload.first() == Some(&1) {
+                            // Freshness byte: the component answers pings
+                            // but holds no config — it restarted inside
+                            // the miss threshold, a crash the ping stream
+                            // alone can no longer see. If the controller
+                            // believes it is provisioned, re-push state
+                            // through the normal recovery path.
+                            let addr = m.ep.addr;
+                            let believed_serving = self
+                                .vips
+                                .values()
+                                .any(|s| s.instances.contains(&addr))
+                                || (self.muxes.contains(&addr) && !self.vips.is_empty());
+                            if believed_serving {
+                                recovered.push(m.ep);
+                            }
                         }
                     }
                 }
                 for ep in recovered {
                     self.on_recovery(ctx, ep);
+                }
+                for ep in slow {
+                    self.derate_instance(ctx, ep.addr);
+                }
+                for ep in healed {
+                    self.underate_instance(ctx, ep.addr);
                 }
             }
             PROTO_CTRL => {
@@ -727,5 +869,138 @@ mod tests {
     fn default_matches_paper_600ms() {
         let cfg = ControllerConfig::default();
         assert_eq!(cfg.ping_interval, SimTime::from_millis(600));
+        // Gray-failure hardening: death needs more than one missed ping,
+        // and the derate level sits strictly below the death level.
+        assert_eq!(cfg.miss_threshold, 3);
+        assert!(cfg.derate_misses < cfg.miss_threshold);
+    }
+
+    use yoda_netsim::{Engine, Topology, Zone};
+
+    /// Answers pings, dropping the first `drop_first` and delaying each
+    /// answer by `delay` (`fast_after`: answers promptly from that ping
+    /// count on). Silent forever when `dead` is set.
+    struct Ponger {
+        seen: u32,
+        drop_first: u32,
+        dead: bool,
+        delay: SimTime,
+        fast_after: Option<u32>,
+    }
+
+    impl Node for Ponger {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            if pkt.protocol != PROTO_PING {
+                return;
+            }
+            self.seen += 1;
+            if self.dead || self.seen <= self.drop_first {
+                return;
+            }
+            let delay = match self.fast_after {
+                Some(n) if self.seen > n => SimTime::ZERO,
+                _ => self.delay,
+            };
+            let reply = Packet::new(pkt.dst, pkt.src, PROTO_PING, pkt.payload.clone());
+            ctx.send_after(delay, reply);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+    }
+
+    fn ponger(drop_first: u32, dead: bool, delay: SimTime, fast_after: Option<u32>) -> Ponger {
+        Ponger {
+            seen: 0,
+            drop_first,
+            dead,
+            delay,
+            fast_after,
+        }
+    }
+
+    #[test]
+    fn single_missed_ping_does_not_kill() {
+        // Regression: the monitor used to declare death after ONE missed
+        // 600 ms ping, so a single gray packet drop killed a healthy
+        // instance.
+        let mut eng = Engine::with_topology(3, Topology::uniform(SimTime::from_micros(250)));
+        let caddr = Addr::new(10, 0, 4, 1);
+        let iaddr = Addr::new(10, 0, 0, 1);
+        let mut c = Controller::new(ControllerConfig::default(), caddr);
+        c.register_instance(iaddr);
+        let cid = eng.add_node("ctrl", caddr, Zone::Dc, Box::new(c));
+        eng.add_node(
+            "inst",
+            iaddr,
+            Zone::Dc,
+            Box::new(ponger(1, false, SimTime::ZERO, None)),
+        );
+        eng.run_for(SimTime::from_secs(6));
+        let c = eng.node_ref::<Controller>(cid);
+        assert_eq!(c.failures_detected, 0, "one lost pong killed a healthy instance");
+        assert_eq!(c.derates, 0);
+    }
+
+    #[test]
+    fn sustained_silence_kills_after_miss_threshold() {
+        let mut eng = Engine::with_topology(3, Topology::uniform(SimTime::from_micros(250)));
+        let caddr = Addr::new(10, 0, 4, 1);
+        let iaddr = Addr::new(10, 0, 0, 1);
+        let mut c = Controller::new(ControllerConfig::default(), caddr);
+        c.register_instance(iaddr);
+        let cid = eng.add_node("ctrl", caddr, Zone::Dc, Box::new(c));
+        eng.add_node(
+            "inst",
+            iaddr,
+            Zone::Dc,
+            Box::new(ponger(0, true, SimTime::ZERO, None)),
+        );
+        eng.run_for(SimTime::from_secs(6));
+        let c = eng.node_ref::<Controller>(cid);
+        assert_eq!(c.failures_detected, 1);
+        // Death takes miss_threshold consecutive cycles, not one: first
+        // ping at 600 ms, third miss counted at 2400 ms.
+        let (t, _) = c.failure_times[0];
+        assert!(
+            t > SimTime::from_millis(1800) && t <= SimTime::from_millis(3000),
+            "detected at {t}"
+        );
+        // The miss-based suspicion level fired on the way down.
+        assert_eq!(c.derates, 1);
+    }
+
+    #[test]
+    fn slow_instance_is_derated_then_readmitted() {
+        let mut eng = Engine::with_topology(3, Topology::uniform(SimTime::from_micros(250)));
+        let caddr = Addr::new(10, 0, 4, 1);
+        let iaddr = Addr::new(10, 0, 0, 1);
+        let vip = Endpoint::new(Addr::new(100, 0, 0, 1), 80);
+        let mut c = Controller::new(ControllerConfig::default(), caddr);
+        c.register_instance(iaddr);
+        let cid = eng.add_node("ctrl", caddr, Zone::Dc, Box::new(c));
+        // Pongs arrive, but 30 ms late (browning node) for the first 4
+        // pings; prompt afterwards.
+        eng.add_node(
+            "inst",
+            iaddr,
+            Zone::Dc,
+            Box::new(ponger(0, false, SimTime::from_millis(30), Some(4))),
+        );
+        eng.with_node_ctx::<Controller>(cid, |c, ctx| {
+            c.add_vip(ctx, vip, "default pool=a", vec![iaddr]);
+        });
+        eng.run_for(SimTime::from_secs(2));
+        {
+            let c = eng.node_ref::<Controller>(cid);
+            assert!(c.derates >= 1, "slow pongs should derate");
+            assert!(c.is_derated(iaddr));
+            assert!(c.vip_instances(vip).is_empty(), "derated instance still mapped");
+            assert_eq!(c.failures_detected, 0, "slowness is not death");
+        }
+        eng.run_for(SimTime::from_secs(10));
+        let c = eng.node_ref::<Controller>(cid);
+        assert!(c.underates >= 1, "healthy-again instance should be re-admitted");
+        assert!(!c.is_derated(iaddr));
+        assert_eq!(c.vip_instances(vip), vec![iaddr]);
+        assert_eq!(c.failures_detected, 0);
     }
 }

@@ -19,7 +19,7 @@
 //! [`SynRecord`] re-enters the connection phase from the retransmitted
 //! header, and a total miss drops the packet.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::{Bytes, BytesMut};
 use yoda_balance::{ProbeConfig, ProbeReply, ProbeRequest, Prober, Signal, PROBE_PORT};
@@ -30,7 +30,7 @@ use yoda_netsim::{
     PROTO_IPIP, PROTO_PING, PROTO_PROBE, PROTO_RPC,
 };
 use yoda_tcp::{Flags, Segment, SeqNum};
-use yoda_tcpstore::{StoreClient, StoreClientConfig, StoreEvent, StoreOutcome, STORE_TIMER_KIND};
+use yoda_tcpstore::{StoreClient, StoreClientConfig, StoreEvent, StoreOp, StoreOutcome};
 
 use yoda_l4lb::CtrlMsg as MuxCtrl;
 
@@ -41,6 +41,20 @@ use crate::rules::{RuleTable, SelectCtx};
 
 /// Timer kind for periodic garbage collection.
 const GC_KIND: u32 = 0x6C;
+/// Heal-probe timer while the instance is in degraded mode.
+const DEGRADED_PROBE_KIND: u32 = 0x6D;
+/// Write-behind records in flight at once while draining after a heal.
+/// The drain is completion-clocked — the next record goes out when one
+/// lands — so the replay rate adapts to whatever the recovering store
+/// can actually sustain instead of burying it under one burst (which
+/// would time out fresh flow writes and flap the instance straight back
+/// into degraded mode).
+const WB_DRAIN_WINDOW: usize = 2;
+/// Consecutive fast heal-probe successes required before a degraded
+/// instance re-arms. One probe squeaking under the op timeout between
+/// queue spikes is not a healed store; two in a row (500 ms apart) is
+/// cheap hysteresis against flapping at the timeout boundary.
+const HEAL_AFTER_PROBES: u32 = 2;
 /// Probe tick timer (`yoda-balance` driver).
 const PROBE_TICK_KIND: u32 = 0x9E0;
 /// Per-probe timeout timer; `token.a` carries the probe tag.
@@ -123,6 +137,18 @@ pub struct YodaConfig {
     /// below the instance (XLB-style flow splicing). Flows that still need
     /// HTTP/1.1 inspection only splice the server leg.
     pub splice: bool,
+    /// Gray-failure tolerance: this many *consecutive* store-write
+    /// timeouts tip the instance into degraded mode, where SYN-ACKs no
+    /// longer wait on store acks and writes buffer in a bounded
+    /// write-behind queue until the store heals. Durability is traded
+    /// for availability only while the store browns out.
+    pub degraded_after: u32,
+    /// Write-behind buffer capacity while degraded. Overflow drops the
+    /// *oldest* record (its flow loses recoverability, not service) and
+    /// accounts the drop in `wb_dropped`.
+    pub write_behind_cap: usize,
+    /// How often a degraded instance probes the store for recovery.
+    pub heal_probe_interval: SimTime,
 }
 
 impl Default for YodaConfig {
@@ -139,6 +165,9 @@ impl Default for YodaConfig {
             mss: 1460,
             probe: ProbeConfig::default(),
             splice: false,
+            degraded_after: 3,
+            write_behind_cap: 256,
+            heal_probe_interval: SimTime::from_millis(250),
         }
     }
 }
@@ -253,7 +282,19 @@ enum PendingOp {
     FlowStored { flow: (Endpoint, Endpoint) },
     Recover { key: (Endpoint, Endpoint) },
     SwitchStored,
+    HealProbe,
+    /// A write-behind record replayed after a heal; completion pulls the
+    /// next record into the drain window.
+    Drain,
     Fire,
+}
+
+/// A write deferred in the write-behind buffer while the store browns
+/// out (degraded mode).
+#[derive(Debug)]
+enum WbOp {
+    Set(Bytes, Bytes),
+    Delete(Bytes),
 }
 
 /// A Yoda L7 LB instance node.
@@ -297,6 +338,30 @@ pub struct YodaInstance {
     /// Splice install rounds sent to the muxes (fast-path handoffs,
     /// including re-installs after a mux failover).
     pub splices_installed: u64,
+    /// Degraded mode (store brownout): SYN-ACKs no longer wait on store
+    /// acks; writes buffer in `write_behind`.
+    degraded: bool,
+    /// Consecutive store-write timeouts (any write success resets).
+    consec_write_timeouts: u32,
+    /// Writes deferred while degraded, replayed on heal (bounded).
+    write_behind: VecDeque<WbOp>,
+    /// A heal-probe timer chain is currently armed.
+    heal_probe_armed: bool,
+    /// Consecutive fast heal-probe successes (heal hysteresis).
+    fast_probes: u32,
+    /// Write-behind records currently in flight to the store (drain).
+    drain_inflight: usize,
+    /// Times the instance entered degraded mode.
+    pub degraded_entries: u64,
+    /// Write-behind records enqueued while degraded.
+    pub wb_enqueued: u64,
+    /// Write-behind records dropped on overflow (oldest first).
+    pub wb_dropped: u64,
+    /// Write-behind records replayed to the store after a heal.
+    pub wb_drained: u64,
+    /// Recovery lookups shed while degraded (the packet is dropped
+    /// instead of stalling on a browning store).
+    pub shed_reads: u64,
 }
 
 impl YodaInstance {
@@ -331,6 +396,17 @@ impl YodaInstance {
             storage_latency: Histogram::new(),
             backend_switches: 0,
             splices_installed: 0,
+            degraded: false,
+            consec_write_timeouts: 0,
+            write_behind: VecDeque::new(),
+            heal_probe_armed: false,
+            fast_probes: 0,
+            drain_inflight: 0,
+            degraded_entries: 0,
+            wb_enqueued: 0,
+            wb_dropped: 0,
+            wb_drained: 0,
+            shed_reads: 0,
         }
     }
 
@@ -394,6 +470,153 @@ impl YodaInstance {
     /// Mutable access to the embedded store client.
     pub fn store_client_mut(&mut self) -> &mut StoreClient {
         &mut self.store
+    }
+
+    /// Whether the instance is currently in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Records currently queued in the write-behind buffer.
+    pub fn write_behind_len(&self) -> usize {
+        self.write_behind.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Degraded mode (gray store failure tolerance)
+    // ------------------------------------------------------------------
+
+    /// Pushes a deferred write, dropping the oldest record past the cap.
+    /// Conservation: `wb_enqueued == wb_drained + wb_dropped + len`.
+    fn wb_push(&mut self, op: WbOp) {
+        if self.write_behind.len() >= self.cfg.write_behind_cap {
+            self.write_behind.pop_front();
+            self.wb_dropped += 1;
+        }
+        self.write_behind.push_back(op);
+        self.wb_enqueued += 1;
+    }
+
+    /// Routes a fire-and-forget set: straight to the store when healthy,
+    /// into the write-behind buffer while degraded.
+    fn bg_set(&mut self, ctx: &mut Ctx<'_>, key: Bytes, value: Bytes) {
+        if self.degraded {
+            self.wb_push(WbOp::Set(key, value));
+        } else {
+            let tag = self.tag(PendingOp::Fire);
+            self.store.set(ctx, key, value, tag);
+        }
+    }
+
+    /// Routes a fire-and-forget delete (see [`Self::bg_set`]).
+    fn bg_delete(&mut self, ctx: &mut Ctx<'_>, key: Bytes) {
+        if self.degraded {
+            self.wb_push(WbOp::Delete(key));
+        } else {
+            let tag = self.tag(PendingOp::Fire);
+            self.store.delete(ctx, key, tag);
+        }
+    }
+
+    /// Routes a backend-switch record set (completion is a no-op either
+    /// way, but the store write must not block the switch while degraded).
+    fn switch_set(&mut self, ctx: &mut Ctx<'_>, key: Bytes, value: Bytes) {
+        if self.degraded {
+            self.wb_push(WbOp::Set(key, value));
+        } else {
+            let tag = self.tag(PendingOp::SwitchStored);
+            self.store.set(ctx, key, value, tag);
+        }
+    }
+
+    /// Counts a store-write timeout; `degraded_after` consecutive ones
+    /// tip the instance into degraded mode. The paper's write-before-
+    /// commit ordering (§4.2) trades latency for recoverability; under a
+    /// store brownout the instance flips that trade so new connections
+    /// keep succeeding.
+    fn note_write_timeout(&mut self, ctx: &mut Ctx<'_>) {
+        self.consec_write_timeouts += 1;
+        if !self.degraded && self.consec_write_timeouts >= self.cfg.degraded_after {
+            self.degraded = true;
+            self.degraded_entries += 1;
+            ctx.trace_note(format!(
+                "entering degraded mode after {} consecutive store-write timeouts",
+                self.consec_write_timeouts
+            ));
+            if !self.heal_probe_armed {
+                self.heal_probe_armed = true;
+                ctx.set_timer(
+                    self.cfg.heal_probe_interval,
+                    TimerToken::new(DEGRADED_PROBE_KIND),
+                );
+            }
+        }
+    }
+
+    /// A store write completed (any outcome but timeout): resets the
+    /// timeout streak. Deliberately does NOT exit degraded mode — a write
+    /// issued before the brownout can still limp home through retries and
+    /// late acks, and healing on such a straggler flaps the instance in
+    /// and out of degraded mode (each re-entry blocks `degraded_after`
+    /// more SYN-ACKs on a store that is still slow). Only a fast heal
+    /// probe heals ([`Self::heal`]).
+    fn note_write_ok(&mut self) {
+        self.consec_write_timeouts = 0;
+    }
+
+    /// Exits degraded mode and starts replaying the write-behind buffer.
+    /// New flows resume the normal write-before-commit ordering at once;
+    /// the buffered records trickle out completion-clocked (see
+    /// [`WB_DRAIN_WINDOW`]).
+    fn heal(&mut self, ctx: &mut Ctx<'_>) {
+        self.degraded = false;
+        ctx.trace_note(format!(
+            "store healed: draining {} write-behind records",
+            self.write_behind.len()
+        ));
+        self.drain_step(ctx);
+    }
+
+    /// Tops the drain window back up to [`WB_DRAIN_WINDOW`] records in
+    /// flight. Pauses while degraded (a re-brownout mid-drain keeps the
+    /// rest of the buffer for the next heal).
+    fn drain_step(&mut self, ctx: &mut Ctx<'_>) {
+        if self.degraded {
+            return;
+        }
+        while self.drain_inflight < WB_DRAIN_WINDOW {
+            let Some(op) = self.write_behind.pop_front() else {
+                break;
+            };
+            self.wb_drained += 1;
+            self.drain_inflight += 1;
+            let tag = self.tag(PendingOp::Drain);
+            match op {
+                WbOp::Set(k, v) => self.store.set(ctx, k, v, tag),
+                WbOp::Delete(k) => self.store.delete(ctx, k, tag),
+            }
+        }
+    }
+
+    /// Degraded-mode heal probe: a tiny periodic write is the only store
+    /// traffic the instance originates while degraded. The probe heals
+    /// the instance ([`Self::heal`]) only when it completes within one
+    /// op-timeout window — success-by-retry or a late ack means the
+    /// store is still browning and the write-before-commit path would
+    /// stall on it.
+    fn heal_probe(&mut self, ctx: &mut Ctx<'_>) {
+        self.heal_probe_armed = false;
+        if !self.degraded {
+            return;
+        }
+        let tag = self.tag(PendingOp::HealProbe);
+        let key = Bytes::from(format!("hprobe:{}", self.addr));
+        self.store.set(ctx, key, Bytes::from_static(b"hp"), tag);
+        self.heal_probe_armed = true;
+        ctx.set_timer(
+            self.cfg.heal_probe_interval,
+            TimerToken::new(DEGRADED_PROBE_KIND),
+        );
     }
 
     fn tag(&mut self, op: PendingOp) -> u64 {
@@ -609,11 +832,11 @@ impl YodaInstance {
             client_isn: seg.seq,
         };
         let key = SynRecord::key(client, vip);
-        if self.cfg.optimistic_synack {
-            // Ablation mode: answer first, persist in the background. A
-            // crash between the two loses the flow.
-            let tag = self.tag(PendingOp::Fire);
-            self.store.set(ctx, key, record.encode(), tag);
+        if self.cfg.optimistic_synack || self.degraded {
+            // Ablation mode — or degraded mode under a store brownout:
+            // answer first, persist in the background (write-behind while
+            // degraded). A crash between the two loses the flow.
+            self.bg_set(ctx, key, record.encode());
             self.flows.insert(
                 (client, vip),
                 FlowEntry {
@@ -931,10 +1154,11 @@ impl YodaInstance {
                 };
                 let header = header.clone();
                 let sent_at = *syn_sent_at;
+                let degraded = self.degraded;
                 entry.phase = Phase::StoringFlow {
                     record,
                     header,
-                    pending_sets: 2,
+                    pending_sets: if degraded { 0 } else { 2 },
                     racing,
                     racer_isns: Vec::new(),
                 };
@@ -944,10 +1168,19 @@ impl YodaInstance {
                 // storage-b: primary + reverse keys, in parallel.
                 let k1 = FlowRecord::key(client, vip);
                 let k2 = FlowRecord::rkey(record.backend, record.vip_server_side());
-                let t1 = self.tag(PendingOp::FlowStored { flow: flow_key });
-                let t2 = self.tag(PendingOp::FlowStored { flow: flow_key });
-                self.store.set(ctx, k1, record.encode(), t1);
-                self.store.set(ctx, k2, record.encode(), t2);
+                if degraded {
+                    // Brownout: buffer storage-b and commit the tunnel
+                    // immediately — forwarding must not stall on a store
+                    // that is timing out.
+                    self.wb_push(WbOp::Set(k1, record.encode()));
+                    self.wb_push(WbOp::Set(k2, record.encode()));
+                    self.flow_stored_complete(ctx, flow_key, None);
+                } else {
+                    let t1 = self.tag(PendingOp::FlowStored { flow: flow_key });
+                    let t2 = self.tag(PendingOp::FlowStored { flow: flow_key });
+                    self.store.set(ctx, k1, record.encode(), t1);
+                    self.store.set(ctx, k2, record.encode(), t2);
+                }
                 let _ = delay;
             }
             Phase::StoringFlow {
@@ -1152,13 +1385,10 @@ impl YodaInstance {
             // this covers the leg that never saw a FIN pass through.
             self.remove_splices(ctx, client, vip, backend);
         }
-        let t1 = self.tag(PendingOp::Fire);
-        let t2 = self.tag(PendingOp::Fire);
-        let t3 = self.tag(PendingOp::Fire);
-        self.store.delete(ctx, SynRecord::key(client, vip), t1);
-        self.store.delete(ctx, FlowRecord::key(client, vip), t2);
+        self.bg_delete(ctx, SynRecord::key(client, vip));
+        self.bg_delete(ctx, FlowRecord::key(client, vip));
         let vss = Endpoint::new(vip.addr, client.port);
-        self.store.delete(ctx, FlowRecord::rkey(backend, vss), t3);
+        self.bg_delete(ctx, FlowRecord::rkey(backend, vss));
         if let Some(l) = self.select_ctx.loads.get_mut(&backend) {
             *l -= 1;
         }
@@ -1325,14 +1555,10 @@ impl YodaInstance {
         };
         let k1 = FlowRecord::key(client, vip);
         let k2 = FlowRecord::rkey(new_backend, record.vip_server_side());
-        let t1 = self.tag(PendingOp::SwitchStored);
-        let t2 = self.tag(PendingOp::SwitchStored);
-        self.store.set(ctx, k1, record.encode(), t1);
-        self.store.set(ctx, k2, record.encode(), t2);
-        let t3 = self.tag(PendingOp::Fire);
+        self.switch_set(ctx, k1, record.encode());
+        self.switch_set(ctx, k2, record.encode());
         let vss = Endpoint::new(vip.addr, client.port);
-        self.store
-            .delete(ctx, FlowRecord::rkey(old_backend, vss), t3);
+        self.bg_delete(ctx, FlowRecord::rkey(old_backend, vss));
         // ACK the new backend's SYN-ACK and forward the buffered request.
         let ack = Segment {
             src_port: vss.port,
@@ -1487,12 +1713,9 @@ impl YodaInstance {
             };
             let k1 = FlowRecord::key(client, vip);
             let k2 = FlowRecord::rkey(new_backend, vss);
-            let t1 = self.tag(PendingOp::SwitchStored);
-            let t2 = self.tag(PendingOp::SwitchStored);
-            self.store.set(ctx, k1, record.encode(), t1);
-            self.store.set(ctx, k2, record.encode(), t2);
-            let t3 = self.tag(PendingOp::Fire);
-            self.store.delete(ctx, FlowRecord::rkey(old_backend, vss), t3);
+            self.switch_set(ctx, k1, record.encode());
+            self.switch_set(ctx, k2, record.encode());
+            self.bg_delete(ctx, FlowRecord::rkey(old_backend, vss));
         }
         self.install_splices(ctx, key);
     }
@@ -1505,6 +1728,16 @@ impl YodaInstance {
         let rk = (inner.src, inner.dst);
         if let Some(entry) = self.recovering.get_mut(&rk) {
             entry.buffered.push(inner);
+            return;
+        }
+        if self.degraded {
+            // Store brownout: a recovery read would only add load to the
+            // browning servers and stall for the full op timeout. Shed
+            // it; the client's retransmit re-triggers recovery once the
+            // store heals.
+            self.shed_reads += 1;
+            self.dropped_unknown += 1;
+            ctx.trace_note(format!("degraded: shed recovery lookup {}->{}", rk.0, rk.1));
             return;
         }
         // Two hypotheses, looked up in parallel: this is the client side
@@ -1666,6 +1899,15 @@ impl YodaInstance {
     // ------------------------------------------------------------------
 
     fn store_event(&mut self, ctx: &mut Ctx<'_>, ev: StoreEvent) {
+        // Central write-health accounting: every set/delete outcome feeds
+        // the degraded-mode trigger, regardless of which path issued it.
+        if matches!(ev.op, StoreOp::Set | StoreOp::Delete) {
+            if ev.outcome == StoreOutcome::TimedOut {
+                self.note_write_timeout(ctx);
+            } else {
+                self.note_write_ok();
+            }
+        }
         let Some(op) = self.pending.remove(&ev.tag) else {
             return;
         };
@@ -1711,24 +1953,84 @@ impl YodaInstance {
                     self.flows.remove(&flow);
                     return;
                 }
-                let Some(entry) = self.flows.get_mut(&flow) else {
-                    return;
+                let done = {
+                    let Some(entry) = self.flows.get_mut(&flow) else {
+                        return;
+                    };
+                    let Phase::StoringFlow { pending_sets, .. } = &mut entry.phase else {
+                        return;
+                    };
+                    *pending_sets -= 1;
+                    *pending_sets == 0
                 };
-                let Phase::StoringFlow {
-                    record,
-                    header,
-                    pending_sets,
-                    racing,
-                    racer_isns,
-                } = &mut entry.phase
-                else {
-                    return;
-                };
-                *pending_sets -= 1;
-                if *pending_sets > 0 {
-                    return;
+                if done {
+                    self.flow_stored_complete(ctx, flow, Some(ev.latency));
                 }
-                self.storage_latency.record_time_ms(ev.latency);
+            }
+            PendingOp::SwitchStored => {
+                // Store updated after an HTTP/1.1 backend switch; nothing
+                // further to do.
+            }
+            PendingOp::Drain => {
+                // Whatever the outcome, the slot frees up: a timed-out
+                // drain write already has a background repair round, and
+                // blocking the drain on it would starve the rest of the
+                // buffer.
+                self.drain_inflight = self.drain_inflight.saturating_sub(1);
+                self.drain_step(ctx);
+            }
+            PendingOp::HealProbe => {
+                // Timeout bookkeeping happened centrally above; the heal
+                // decision requires *consecutive fast* successes — each
+                // within one op-timeout window, i.e. no retries and no
+                // late acks — so a store hovering at the timeout boundary
+                // (one lucky probe between queue spikes) does not flap
+                // the instance out of and back into degraded mode.
+                if self.degraded {
+                    if ev.outcome != StoreOutcome::TimedOut
+                        && ev.latency <= self.cfg.store.op_timeout
+                    {
+                        self.fast_probes += 1;
+                        if self.fast_probes >= HEAL_AFTER_PROBES {
+                            self.fast_probes = 0;
+                            self.heal(ctx);
+                        }
+                    } else {
+                        self.fast_probes = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completes storage-b: ACK the backend, forward the buffered
+    /// request, feed any racers, and hand the flow to the tunneling
+    /// phase. Shared by the normal path (runs when the store acks both
+    /// sets) and degraded mode (runs immediately; the sets sit in the
+    /// write-behind buffer instead).
+    fn flow_stored_complete(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        flow: (Endpoint, Endpoint),
+        latency: Option<SimTime>,
+    ) {
+        if let Some(l) = latency {
+            self.storage_latency.record_time_ms(l);
+        }
+        let Some(entry) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        let Phase::StoringFlow {
+            record,
+            header,
+            racing,
+            racer_isns,
+            ..
+        } = &mut entry.phase
+        else {
+            return;
+        };
+        {
                 let record = *record;
                 let header = header.clone();
                 let racer_isns = racer_isns.clone();
@@ -1808,11 +2110,6 @@ impl YodaInstance {
                 // steady state to the mux fast path (no-op while a mirror
                 // race is live; settled races install later).
                 self.install_splices(ctx, flow);
-            }
-            PendingOp::SwitchStored => {
-                // Store updated after an HTTP/1.1 backend switch; nothing
-                // further to do.
-            }
         }
     }
 
@@ -1967,12 +2264,9 @@ impl YodaInstance {
             self.emit(ctx, SimTime::ZERO, rst, vip, client);
             let vss = Endpoint::new(vip.addr, client.port);
             self.rflows.remove(&(backend, vss));
-            let t1 = self.tag(PendingOp::Fire);
-            let t2 = self.tag(PendingOp::Fire);
-            let t3 = self.tag(PendingOp::Fire);
-            self.store.delete(ctx, SynRecord::key(client, vip), t1);
-            self.store.delete(ctx, FlowRecord::key(client, vip), t2);
-            self.store.delete(ctx, FlowRecord::rkey(backend, vss), t3);
+            self.bg_delete(ctx, SynRecord::key(client, vip));
+            self.bg_delete(ctx, FlowRecord::key(client, vip));
+            self.bg_delete(ctx, FlowRecord::rkey(backend, vss));
             self.flows.remove(&key);
         }
     }
@@ -2029,7 +2323,13 @@ impl Node for YodaInstance {
             PROTO_CTRL => self.handle_ctrl(ctx, &pkt),
             PROTO_PROBE => self.handle_probe_reply(ctx, &pkt),
             PROTO_PING => {
-                let reply = Packet::new(pkt.dst, pkt.src, PROTO_PING, pkt.payload.clone());
+                // The pong carries one freshness byte: `1` = this instance
+                // holds no VIP config (it restarted since the controller
+                // last provisioned it). Lets the controller catch silent
+                // restarts shorter than the miss threshold — a crash the
+                // ping stream alone can no longer see.
+                let fresh = if self.vips.is_empty() { 1u8 } else { 0u8 };
+                let reply = Packet::new(pkt.dst, pkt.src, PROTO_PING, Bytes::from(vec![fresh]));
                 ctx.send(reply);
             }
             _ => {}
@@ -2038,7 +2338,7 @@ impl Node for YodaInstance {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
         match token.kind {
-            STORE_TIMER_KIND => {
+            k if StoreClient::owns_timer_kind(k) => {
                 let events = self.store.on_timer(ctx, token);
                 for ev in events {
                     self.store_event(ctx, ev);
@@ -2048,6 +2348,7 @@ impl Node for YodaInstance {
                 self.gc(ctx.now());
                 ctx.set_timer(GC_PERIOD, TimerToken::new(GC_KIND));
             }
+            DEGRADED_PROBE_KIND => self.heal_probe(ctx),
             PROBE_TICK_KIND => self.probe_tick(ctx),
             PROBE_TIMEOUT_KIND => self.probe_timeout(ctx, token.a),
             _ => {}

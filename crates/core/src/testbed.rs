@@ -486,6 +486,37 @@ impl Testbed {
         self.engine.schedule(at, move |eng| eng.heal_node(id));
     }
 
+    /// Scales store server `i`'s per-op CPU service time by `factor` at
+    /// `at` (gray failure: the store stays alive and answers pings, just
+    /// slowly). Pass `1.0` to heal.
+    pub fn slowdown_store_at(&mut self, i: usize, factor: f64, at: SimTime) {
+        let id = self.stores[i];
+        self.engine.schedule(at, move |eng| {
+            if let Some(s) = eng.try_node_mut::<StoreServer>(id) {
+                s.set_speed_factor(factor);
+            }
+        });
+    }
+
+    /// Scales backend `i`'s service time by `factor` at `at`. Pass `1.0`
+    /// to heal.
+    pub fn slowdown_backend_at(&mut self, i: usize, factor: f64, at: SimTime) {
+        let id = self.backends[i];
+        self.engine.schedule(at, move |eng| {
+            if let Some(s) = eng.try_node_mut::<OriginServer>(id) {
+                s.set_speed_factor(factor);
+            }
+        });
+    }
+
+    /// Degrades every link touching `id` at `at`: `loss` per-packet drop
+    /// probability plus up to `jitter` of added seeded delay per packet,
+    /// both directions. Pass `(0.0, SimTime::ZERO)` to heal.
+    pub fn degrade_links_at(&mut self, id: NodeId, loss: f64, jitter: SimTime, at: SimTime) {
+        self.engine
+            .schedule(at, move |eng| eng.degrade_node_links(id, loss, jitter));
+    }
+
     /// Mean CPU utilisation across live active instances right now.
     pub fn mean_instance_cpu(&self) -> f64 {
         let now = self.engine.now();

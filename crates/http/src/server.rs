@@ -123,6 +123,11 @@ impl OriginServer {
         self.speed_factor = f.max(0.0);
     }
 
+    /// The current service-time multiplier.
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+
     /// CPU utilisation since the last [`OriginServer::reset_window`].
     pub fn cpu_utilization(&self, now: SimTime) -> f64 {
         self.cpu.utilization(now)

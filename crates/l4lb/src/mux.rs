@@ -15,6 +15,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use bytes::Bytes;
 use yoda_netsim::{Addr, Ctx, Endpoint, Node, Packet, SimTime, TimerToken, PROTO_CTRL, PROTO_IPIP};
 use yoda_tcp::{Flags, Segment, SEGMENT_HEADER_LEN};
 
@@ -369,7 +370,12 @@ impl Node for Mux {
                 }
             }
             yoda_netsim::PROTO_PING => {
-                let reply = Packet::new(pkt.dst, pkt.src, pkt.protocol, pkt.payload.clone());
+                // Freshness byte (see the instance pong): `1` = no VIP
+                // maps installed, i.e. the mux restarted cold since the
+                // controller last pushed state to it.
+                let fresh = if self.vips.is_empty() { 1u8 } else { 0u8 };
+                let reply =
+                    Packet::new(pkt.dst, pkt.src, pkt.protocol, Bytes::from(vec![fresh]));
                 ctx.send(reply);
             }
             _ => {

@@ -44,6 +44,15 @@ pub(crate) struct NodeMeta {
     pub(crate) cut_out: bool,
     /// Bumped on restore so stale timers from before a crash never fire.
     pub(crate) generation: u64,
+    /// Gray link degradation (chaos `LinkDegrade`): extra loss applied to
+    /// every packet this node sends or receives. Zero when clear — the
+    /// degrade hook consumes no RNG then, so runs without the fault
+    /// replay bit-for-bit identically to runs before the feature existed.
+    pub(crate) degrade_loss: f64,
+    /// Extra per-packet jitter on this node's links, added on top of the
+    /// base link latency (never delivering earlier, so the sharded
+    /// executor's `min_latency` lookahead stays a valid lower bound).
+    pub(crate) degrade_jitter: SimTime,
     pub(crate) addrs: Vec<Addr>,
     /// This node's private RNG stream, split from the engine seed by
     /// [`NodeId`] at `add_node`. Handlers draw from it via
@@ -116,6 +125,10 @@ pub(crate) struct EngineCore {
     /// FNV-1a digest folded over every processed event; two runs with the
     /// same seed and scenario must end with identical digests.
     pub(crate) digest: u64,
+    /// Count of nodes with an active link degrade. The `send_routed`
+    /// degrade hook is gated on this being nonzero, so topologies that
+    /// never degrade a link pay one integer compare and consume no RNG.
+    pub(crate) degraded_nodes: u32,
     /// Timer-handle relocation table, rebuilt whenever the sharded
     /// executor migrates pending entries back into this wheel (their slab
     /// slots change, invalidating the slot half of every outstanding
@@ -235,6 +248,14 @@ impl EngineCore {
             .delivery_time(now, from_zone, to_zone, wire, &mut self.rng)
         {
             Some(at) => {
+                let at = match self.degrade_delivery(from.0, to_id, at) {
+                    Some(at) => at,
+                    None => {
+                        self.packets_dropped += 1;
+                        self.record_packet(from, TraceKind::PacketDropped, &pkt, "link degrade");
+                        return;
+                    }
+                };
                 // Packets ride the timing wheel, stored inline in the
                 // wheel's slab: O(1) amortized arm/pop versus the heap's
                 // O(log n), one slab write instead of payload + key. The
@@ -266,11 +287,24 @@ impl EngineCore {
                         self.topology
                             .delivery_time(now, from_zone, to_zone, wire, &mut self.rng)
                     {
-                        self.packets_sent += 1;
-                        self.record_packet(from, TraceKind::PacketDuplicated, &copy, "");
-                        let seq2 = self.seq;
-                        self.seq += 1;
-                        arm(self, at2.as_micros(), seq2, copy, dst);
+                        match self.degrade_delivery(from.0, to_id, at2) {
+                            Some(at2) => {
+                                self.packets_sent += 1;
+                                self.record_packet(from, TraceKind::PacketDuplicated, &copy, "");
+                                let seq2 = self.seq;
+                                self.seq += 1;
+                                arm(self, at2.as_micros(), seq2, copy, dst);
+                            }
+                            None => {
+                                self.packets_dropped += 1;
+                                self.record_packet(
+                                    from,
+                                    TraceKind::PacketDropped,
+                                    &copy,
+                                    "link degrade",
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -279,6 +313,33 @@ impl EngineCore {
                 self.record_packet(from, TraceKind::PacketDropped, &pkt, "link loss");
             }
         }
+    }
+
+    /// Applies gray link degradation (chaos `LinkDegrade`) to a routed
+    /// delivery: when either endpoint of the hop is degraded, the packet
+    /// is dropped with the hop's effective loss probability or delayed by
+    /// a uniform draw of extra jitter. Returns `None` when the packet is
+    /// lost. RNG is consumed only while at least one node in the engine
+    /// is degraded AND this hop touches it, so scenarios without the
+    /// fault replay identically to the pre-degrade era. Jitter only ever
+    /// ADDS to the base link latency, keeping `Topology::min_latency` a
+    /// valid lower bound for the sharded executor's lookahead.
+    #[inline]
+    fn degrade_delivery(&mut self, from: usize, to: usize, at: SimTime) -> Option<SimTime> {
+        if self.degraded_nodes == 0 {
+            return Some(at);
+        }
+        let (a, b) = (&self.meta[from], &self.meta[to]);
+        let loss = a.degrade_loss.max(b.degrade_loss);
+        let jitter = a.degrade_jitter.max(b.degrade_jitter);
+        if loss > 0.0 && self.rng.gen_f64() < loss {
+            return None;
+        }
+        if jitter > SimTime::ZERO {
+            let extra = self.rng.gen_range(0..=jitter.as_micros());
+            return Some(at + SimTime::from_micros(extra));
+        }
+        Some(at)
     }
 
     /// O(1) timer cancellation that also survives shard migration: the
@@ -543,6 +604,7 @@ impl Engine {
                 packets_dropped: 0,
                 events_processed: 0,
                 digest: FNV_OFFSET,
+                degraded_nodes: 0,
                 relocated: BTreeMap::new(),
                 next_prov: 0,
             },
@@ -634,6 +696,8 @@ impl Engine {
             cut_in: false,
             cut_out: false,
             generation: 0,
+            degrade_loss: 0.0,
+            degrade_jitter: SimTime::ZERO,
             addrs: vec![addr],
             rng,
         });
@@ -743,6 +807,49 @@ impl Engine {
     pub fn is_partitioned(&self, id: NodeId) -> bool {
         let meta = &self.core.meta[id.0];
         meta.cut_in || meta.cut_out
+    }
+
+    /// Degrades every link touching `id` — the gray cousin of a
+    /// partition: each packet the node sends or receives is dropped with
+    /// probability `loss` and delayed by up to `jitter` extra (uniform),
+    /// but the node stays reachable and keeps running. Both zero clears
+    /// the degrade. When two degraded nodes share a hop the worse value
+    /// of each knob applies.
+    pub fn degrade_node_links(&mut self, id: NodeId, loss: f64, jitter: SimTime) {
+        let loss = loss.clamp(0.0, 1.0);
+        let meta = &mut self.core.meta[id.0];
+        let was = meta.degrade_loss > 0.0 || meta.degrade_jitter > SimTime::ZERO;
+        let active = loss > 0.0 || jitter > SimTime::ZERO;
+        meta.degrade_loss = loss;
+        meta.degrade_jitter = jitter;
+        match (was, active) {
+            (false, true) => self.core.degraded_nodes += 1,
+            (true, false) => self.core.degraded_nodes -= 1,
+            _ => {}
+        }
+        if self.core.trace.is_enabled() {
+            let detail = if active {
+                format!("link degrade loss={loss:.2} jitter={jitter}")
+            } else {
+                "link degrade cleared".to_string()
+            };
+            let ev = TraceEvent {
+                time: self.core.time,
+                node: self.core.meta[id.0].name,
+                kind: TraceKind::Note,
+                src: None,
+                dst: None,
+                protocol: None,
+                detail,
+            };
+            self.core.trace.record(ev);
+        }
+    }
+
+    /// Whether the node's links are currently degraded.
+    pub fn is_link_degraded(&self, id: NodeId) -> bool {
+        let meta = &self.core.meta[id.0];
+        meta.degrade_loss > 0.0 || meta.degrade_jitter > SimTime::ZERO
     }
 
     /// Restores a failed node **with fresh state**: the crashed process is

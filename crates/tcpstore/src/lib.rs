@@ -28,7 +28,10 @@ pub mod proto;
 pub mod ring;
 pub mod server;
 
-pub use client::{StoreClient, StoreClientConfig, StoreEvent, StoreOutcome, STORE_TIMER_KIND};
+pub use client::{
+    ReplicaStat, StoreClient, StoreClientConfig, StoreEvent, StoreOutcome, STORE_HEDGE_KIND,
+    STORE_RETRY_KIND, STORE_TIMER_KIND,
+};
 pub use proto::{StoreOp, StoreRequest, StoreResponse, StoreStatus};
 pub use ring::HashRing;
 pub use server::{StoreServer, StoreServerConfig};

@@ -43,6 +43,8 @@ pub struct StoreServer {
     addr: yoda_netsim::Addr,
     data: BTreeMap<Bytes, Bytes>,
     cpu: ServiceQueue,
+    /// Service-time multiplier (chaos `NodeSlowdown`): 1.0 = healthy.
+    speed_factor: f64,
     /// Total `get` operations served.
     pub gets: u64,
     /// Total `set` operations served.
@@ -61,6 +63,7 @@ impl StoreServer {
             addr,
             data: BTreeMap::new(),
             cpu: ServiceQueue::new(cfg.cores),
+            speed_factor: 1.0,
             gets: 0,
             sets: 0,
             deletes: 0,
@@ -86,6 +89,18 @@ impl StoreServer {
     /// Starts a new CPU measurement window.
     pub fn reset_window(&mut self, now: SimTime) {
         self.cpu.reset_window(now);
+    }
+
+    /// Scales per-op service time by `f` (e.g. `10.0` = a browning-out
+    /// server answering 10x slower). Applies to ops arriving after the
+    /// call, so chaos scenarios can degrade and heal a store mid-run.
+    pub fn set_speed_factor(&mut self, f: f64) {
+        self.speed_factor = f.max(0.0);
+    }
+
+    /// The current service-time multiplier.
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
     }
 }
 
@@ -139,7 +154,10 @@ impl Node for StoreServer {
         }
         // CPU model: the reply leaves once a core has processed the op.
         let affinity = ctx.node_rng().gen_range(0..self.cfg.cores as u64);
-        let done = self.cpu.submit(ctx.now(), self.cfg.per_op_service, affinity);
+        let service = SimTime::from_micros(
+            (self.cfg.per_op_service.as_micros() as f64 * self.speed_factor) as u64,
+        );
+        let done = self.cpu.submit(ctx.now(), service, affinity);
         let delay = done.saturating_sub(ctx.now());
         let resp = StoreResponse {
             req_id: req.req_id,

@@ -156,6 +156,18 @@ else
     echo "splice: no forward_* rows in smoke report — skipping delta"
 fi
 
+echo "==> store brownout availability delta"
+# Gray-failure headline: all stores slowed 10x, none killed. The bench
+# prints healthy-vs-brownout new-connection success; the delta must stay
+# under 1 point (the brownout test under `cargo test` asserts the >= 99%
+# floor — this readout puts the number in the gate log).
+brownout_out="$(./target/release/brownout_store)"
+grep -E "success|availability delta|degraded-mode entries" <<< "$brownout_out"
+delta_pct=$(grep "availability delta" <<< "$brownout_out" | grep -o '[0-9.]*%' | tr -d '%')
+awk -v d="$delta_pct" 'BEGIN {
+    if (d > 1.0) { print "brownout: availability delta " d "% exceeds 1 point" ; exit 1 }
+}' || exit 1
+
 echo "==> figure byte-identity (spot check)"
 # Engine changes must be pure perf wins: regenerating a figure must
 # reproduce the committed bytes exactly. Full regeneration is

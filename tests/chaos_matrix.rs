@@ -147,6 +147,44 @@ fn survivable_seeds_hold_with_splicing() {
     }
 }
 
+/// Gray-fault matrix: the first `CHAOS_GRAY_SEEDS` (default 20)
+/// survivable plans that actually contain a gray fault (slowdown, link
+/// degrade, or asymmetric partition) must hold the zero-breakage
+/// invariants — slow-but-alive components are routed around, never
+/// surfaced to clients. The generator's survivable budget caps the
+/// slowdown intensity (factor and factor×duration), so these plans are
+/// harsh but inside §6's availability preconditions.
+#[test]
+fn gray_fault_seeds_keep_every_flow_alive() {
+    let n = env_u64("CHAOS_GRAY_SEEDS", 20);
+    let mut sc = ChaosScenario::survivable();
+    sc.threads = threads();
+    let is_gray = |k: FaultKind| {
+        matches!(
+            k,
+            FaultKind::NodeSlowdown { .. }
+                | FaultKind::LinkDegrade { .. }
+                | FaultKind::AsymmetricPartition { .. }
+        )
+    };
+    // Disjoint seed range (2000..) from the other matrices; seeds whose
+    // plan drew no gray fault are skipped, so every run here exercises
+    // the gray machinery.
+    let mut ran = 0;
+    for seed in 2000..4000 {
+        if ran >= n {
+            break;
+        }
+        let plan = ChaosPlan::generate(seed, &sc.shape(), &sc.budget);
+        if !plan.faults.iter().any(|f| is_gray(f.kind)) {
+            continue;
+        }
+        assert_seed_ok(seed, &sc);
+        ran += 1;
+    }
+    assert_eq!(ran, n, "seed range 2000..4000 yielded too few gray plans");
+}
+
 /// The same seed must replay byte-identically: identical engine digest,
 /// identical event count, identical rendered report.
 #[test]
